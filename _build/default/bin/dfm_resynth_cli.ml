@@ -1,0 +1,218 @@
+(* Command-line driver for the DFM resynthesis flow.
+
+   Subcommands:
+     list                      enumerate the benchmark blocks
+     analyze  CIRCUIT          implement and report fault/cluster metrics
+     resynth  CIRCUIT          run the two-phase resynthesis (Section III)
+     ablate   CIRCUIT          the Section IV restricted-library experiment
+     dump     CIRCUIT          write the generated netlist in text format
+     cells                     show the library with internal fault counts *)
+
+open Cmdliner
+
+module Design = Dfm_core.Design
+module Resynth = Dfm_core.Resynth
+module Report = Dfm_core.Report
+module Circuits = Dfm_circuits.Circuits
+module N = Dfm_netlist.Netlist
+
+let scale_arg =
+  let doc = "Scale factor for the generated blocks (default \\$REPRO_SCALE or 1.0)." in
+  Arg.(value & opt (some float) None & info [ "scale" ] ~docv:"S" ~doc)
+
+let circuit_arg =
+  let doc = "Benchmark block name (see the list subcommand)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+
+let build ?scale name =
+  if not (List.mem name Circuits.names) then begin
+    Fmt.epr "unknown circuit %s; known: %s@." name (String.concat " " Circuits.names);
+    exit 2
+  end;
+  Circuits.build ?scale name
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun name ->
+        let nl = build ~scale:0.25 name in
+        Fmt.pr "%-12s (at scale 0.25: %d gates, %d PIs, %d POs)@." name (N.num_gates nl)
+          (Array.length nl.N.pis) (Array.length nl.N.pos))
+      Circuits.names
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the twelve benchmark blocks.")
+    Term.(const run $ const ())
+
+(* ---- cells ---- *)
+
+let cells_cmd =
+  let run () =
+    Fmt.pr "%-10s %5s %6s %8s %9s@." "cell" "pins" "trans" "area" "int.faults";
+    List.iter
+      (fun (c : Dfm_netlist.Cell.t) ->
+        Fmt.pr "%-10s %5d %6d %8.1f %9d@." c.Dfm_netlist.Cell.name
+          (Dfm_netlist.Cell.arity c) c.Dfm_netlist.Cell.transistors c.Dfm_netlist.Cell.area
+          (Dfm_cellmodel.Udfm.internal_fault_count c.Dfm_netlist.Cell.name))
+      (Resynth.cells_by_internal_faults Dfm_cellmodel.Osu018.library
+      @ Dfm_netlist.Library.sequential Dfm_cellmodel.Osu018.library)
+  in
+  Cmd.v
+    (Cmd.info "cells"
+       ~doc:"Show the 21-cell library ordered by internal DFM fault count.")
+    Term.(const run $ const ())
+
+(* ---- analyze ---- *)
+
+let analyze_cmd =
+  let run name scale =
+    let nl = build ?scale name in
+    Fmt.pr "building and implementing %s ...@." name;
+    let d = Design.implement nl in
+    let m = Design.metrics d in
+    Fmt.pr "%a@." N.pp_summary nl;
+    Fmt.pr "%a@." Design.pp_metrics m;
+    let r = Report.table1_row ~name d in
+    Fmt.pr "@[<v>Table-I row:@,%a@,%a@]@." Report.pp_table1_header () Report.pp_table1_row r;
+    let clusters = d.Design.cluster.Dfm_core.Cluster.clusters in
+    Fmt.pr "clusters of undetectable faults (largest 8 of %d): %s@." (List.length clusters)
+      (String.concat " "
+         (List.filteri (fun i _ -> i < 8) clusters
+         |> List.map (fun c -> string_of_int (List.length c))))
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"Implement a block and report its fault clustering.")
+    Term.(const run $ circuit_arg $ scale_arg)
+
+(* ---- resynth ---- *)
+
+let resynth_cmd =
+  let q_max =
+    Arg.(value & opt int 5 & info [ "q-max" ] ~docv:"Q" ~doc:"Maximum delay/power increase, percent.")
+  in
+  let p1 =
+    Arg.(value & opt float 1.0 & info [ "p1" ] ~docv:"P" ~doc:"Phase-1 cluster-size target, percent of |F|.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the resynthesized netlist (text format) to \\$(docv).")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print accepted steps.") in
+  let run name scale q_max p1 out verbose =
+    let nl = build ?scale name in
+    Fmt.pr "implementing %s ...@." name;
+    let d0 = Design.implement nl in
+    Fmt.pr "original:      %a@." Design.pp_metrics (Design.metrics d0);
+    let log = if verbose then fun s -> Fmt.pr "  %s@." s else fun _ -> () in
+    let r = Resynth.run ~p1_percent:p1 ~q_max ~log d0 in
+    Fmt.pr "resynthesized: %a@." Design.pp_metrics (Design.metrics r.Resynth.final);
+    let orig, resyn = Report.table2_rows ~name r in
+    Fmt.pr "@[<v>Table-II rows:@,%a@,%a@,%a@]@." Report.pp_table2_header ()
+      Report.pp_table2_row orig Report.pp_table2_row resyn;
+    (match Dfm_atpg.Equiv_sat.check nl r.Resynth.final.Design.netlist with
+    | Dfm_atpg.Equiv_sat.Equivalent -> Fmt.pr "equivalence: PROVEN@."
+    | Dfm_atpg.Equiv_sat.Different l -> Fmt.pr "equivalence: FAILED at %s@." l
+    | Dfm_atpg.Equiv_sat.Interface_mismatch m -> Fmt.pr "equivalence: interface %s@." m);
+    match out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Dfm_netlist.Netlist_io.to_string r.Resynth.final.Design.netlist);
+        close_out oc;
+        Fmt.pr "wrote %s@." path
+  in
+  Cmd.v
+    (Cmd.info "resynth"
+       ~doc:"Run the two-phase resynthesis procedure of the paper on a block.")
+    Term.(const run $ circuit_arg $ scale_arg $ q_max $ p1 $ out $ verbose)
+
+(* ---- ablate ---- *)
+
+let ablate_cmd =
+  let run name scale =
+    let nl = build ?scale name in
+    let row = Report.ablation ~name nl in
+    Fmt.pr "removed cells: %s@." (String.concat " " row.Report.removed);
+    if row.Report.fits then
+      Fmt.pr "delay %.1f%%, power %.1f%% of the original design@."
+        (100.0 *. row.Report.delay_rel)
+        (100.0 *. row.Report.power_rel)
+    else Fmt.pr "restricted design no longer fits the original floorplan@."
+  in
+  Cmd.v
+    (Cmd.info "ablate"
+       ~doc:"Synthesize with the 7 largest cells removed (Section IV ablation).")
+    Term.(const run $ circuit_arg $ scale_arg)
+
+(* ---- paths ---- *)
+
+let paths_cmd =
+  let k = Arg.(value & opt int 3 & info [ "k" ] ~docv:"K" ~doc:"How many paths to report.") in
+  let run name scale k =
+    let nl = build ?scale name in
+    let fp = Dfm_layout.Floorplan.create nl in
+    let pl = Dfm_layout.Place.place nl fp in
+    let rt = Dfm_layout.Route.route pl in
+    let rep = Dfm_timing.Sta.analyze rt in
+    Fmt.pr "critical-path delay: %.3f ns (endpoint %s)@."
+      rep.Dfm_timing.Sta.critical_path_delay rep.Dfm_timing.Sta.worst_endpoint;
+    List.iter
+      (fun p -> Format.printf "%a" Dfm_timing.Paths.pp_path p)
+      (Dfm_timing.Paths.critical_paths ~k rt rep);
+    let drc = Dfm_layout.Drc.check rt in
+    Fmt.pr "DRC: %d errors, %d warnings@." drc.Dfm_layout.Drc.errors drc.Dfm_layout.Drc.warnings
+  in
+  Cmd.v (Cmd.info "paths" ~doc:"Report the K most critical paths of a placed-and-routed block.")
+    Term.(const run $ circuit_arg $ scale_arg $ k)
+
+(* ---- verilog ---- *)
+
+let verilog_cmd =
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output path (default: stdout).")
+  in
+  let run name scale out =
+    let nl = build ?scale name in
+    let text = Dfm_netlist.Verilog.to_string nl in
+    match out with
+    | None -> print_string text
+    | Some path ->
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc;
+        Fmt.pr "wrote %s@." path
+  in
+  Cmd.v (Cmd.info "verilog" ~doc:"Write a generated block as structural Verilog.")
+    Term.(const run $ circuit_arg $ scale_arg $ out)
+
+(* ---- dump ---- *)
+
+let dump_cmd =
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output path (default: stdout).")
+  in
+  let run name scale out =
+    let nl = build ?scale name in
+    let text = Dfm_netlist.Netlist_io.to_string nl in
+    match out with
+    | None -> print_string text
+    | Some path ->
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc
+  in
+  Cmd.v (Cmd.info "dump" ~doc:"Write a generated block in the text netlist format.")
+    Term.(const run $ circuit_arg $ scale_arg $ out)
+
+let () =
+  let info =
+    Cmd.info "dfm_resynth"
+      ~doc:"Resynthesis for avoiding undetectable DFM faults (DATE 2019 reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; cells_cmd; analyze_cmd; resynth_cmd; ablate_cmd; paths_cmd; verilog_cmd;
+            dump_cmd ]))

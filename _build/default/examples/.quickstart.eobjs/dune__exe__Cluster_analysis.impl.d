@@ -1,0 +1,1 @@
+examples/cluster_analysis.ml: Array Dfm_cellmodel Dfm_circuits Dfm_core Dfm_faults Dfm_guidelines Dfm_netlist Format Hashtbl List String Sys

@@ -1,0 +1,1 @@
+examples/library_tradeoff.ml: Array Dfm_circuits Dfm_core Dfm_netlist Format String Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dfm_atpg Dfm_cellmodel Dfm_core Dfm_netlist Format List Printf String

@@ -1,0 +1,1 @@
+examples/resynthesize_block.ml: Array Dfm_atpg Dfm_circuits Dfm_core Dfm_netlist Format List Sys

@@ -1,0 +1,1 @@
+examples/resynthesize_block.mli:

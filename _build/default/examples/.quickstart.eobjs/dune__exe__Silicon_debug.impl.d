@@ -1,0 +1,1 @@
+examples/silicon_debug.ml: Array Dfm_atpg Dfm_circuits Dfm_core Dfm_faults Dfm_guidelines Dfm_netlist Filename Format List

@@ -1,0 +1,1 @@
+examples/silicon_debug.mli:

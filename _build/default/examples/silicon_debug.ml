@@ -1,0 +1,63 @@
+(* Silicon debug walkthrough: a "failing die" comes back from the tester;
+   match its per-test failing outputs against the DFM fault candidates and
+   locate the defect — the diagnosis use-case behind the paper's fault model
+   (its reference [8]).  Also demonstrates Verilog export for handoff.
+
+   Run with:  dune exec examples/silicon_debug.exe *)
+
+module N = Dfm_netlist.Netlist
+module F = Dfm_faults.Fault
+module Design = Dfm_core.Design
+module Diagnose = Dfm_core.Diagnose
+module Atpg = Dfm_atpg.Atpg
+
+let () =
+  let nl = Dfm_circuits.Circuits.build ~scale:0.4 "sparc_ffu" in
+  Format.printf "device under test: %a@." N.pp_summary nl;
+  let d = Design.implement nl in
+  let faults = d.Design.fault_list.Dfm_guidelines.Translate.faults in
+
+  (* Production test: the compacted DFM test set. *)
+  let g = Atpg.generate nl faults in
+  Format.printf "production test set: %d patterns covering %d/%d faults@."
+    (List.length g.Atpg.tests)
+    g.Atpg.classification.Atpg.counts.Atpg.detected
+    g.Atpg.classification.Atpg.counts.Atpg.total;
+
+  (* A die comes back failing.  (Here: we play foundry and pick the defect —
+     a detectable internal fault somewhere in the middle of the die.) *)
+  let truth =
+    Array.to_list faults
+    |> List.filter (fun (f : F.t) ->
+           g.Atpg.classification.Atpg.status.(f.F.fault_id) = Atpg.Detected
+           && F.is_internal f)
+    |> fun l -> List.nth l (List.length l / 2)
+  in
+  let observed = Diagnose.simulate_defect nl ~tests:g.Atpg.tests truth in
+  Format.printf "@.tester fail log: %d failing patterns (of %d)@." (List.length observed)
+    (List.length g.Atpg.tests);
+  List.iteri
+    (fun i (r : Diagnose.response) ->
+      if i < 4 then
+        Format.printf "  pattern %3d fails at %d observation points@." r.Diagnose.test_index
+          (List.length r.Diagnose.failing))
+    observed;
+
+  (* Diagnosis: rank all DFM fault candidates by syndrome match. *)
+  let ranked = Diagnose.diagnose nl ~tests:g.Atpg.tests ~observed ~candidates:faults ~top:5 () in
+  Format.printf "@.diagnosis (top %d of %d candidates):@." (List.length ranked)
+    (Array.length faults);
+  List.iteri
+    (fun i (c : Diagnose.candidate) ->
+      Format.printf "  %d. score %6.2f, %3d exact-match tests   %s%s@." (i + 1)
+        c.Diagnose.score c.Diagnose.exact_matches
+        (F.describe nl c.Diagnose.fault)
+        (if c.Diagnose.fault.F.fault_id = truth.F.fault_id then "   <- the planted defect" else ""))
+    ranked;
+
+  (* Handoff: the netlist in standard structural Verilog. *)
+  let path = Filename.temp_file "sparc_ffu" ".v" in
+  let oc = open_out path in
+  output_string oc (Dfm_netlist.Verilog.to_string nl);
+  close_out oc;
+  Format.printf "@.wrote %s (structural Verilog, re-readable by Dfm_netlist.Verilog.read)@." path

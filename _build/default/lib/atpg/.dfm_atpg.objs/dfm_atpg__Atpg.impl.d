@@ -1,0 +1,1 @@
+lib/atpg/atpg.ml: Array Dfm_faults Dfm_netlist Dfm_sim Dfm_util Encode Int64 List

@@ -1,0 +1,1 @@
+lib/atpg/atpg.mli: Dfm_faults Dfm_netlist

@@ -1,0 +1,1 @@
+lib/atpg/compact.ml: Array Dfm_faults Dfm_netlist Dfm_sim List

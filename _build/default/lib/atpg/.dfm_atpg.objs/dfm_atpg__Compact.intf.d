@@ -1,0 +1,1 @@
+lib/atpg/compact.mli: Dfm_faults Dfm_netlist

@@ -1,0 +1,1 @@
+lib/atpg/encode.ml: Array Dfm_cellmodel Dfm_faults Dfm_logic Dfm_netlist Dfm_sat Dfm_sim Hashtbl List

@@ -1,0 +1,1 @@
+lib/atpg/encode.mli: Dfm_faults Dfm_sim

@@ -1,0 +1,1 @@
+lib/atpg/equiv_sat.ml: Array Dfm_netlist Dfm_sat Hashtbl List

@@ -1,0 +1,1 @@
+lib/atpg/equiv_sat.mli: Dfm_netlist

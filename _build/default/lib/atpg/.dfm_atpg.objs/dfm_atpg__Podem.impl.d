@@ -1,0 +1,1 @@
+lib/atpg/podem.ml: Array Dfm_faults Dfm_logic Dfm_netlist Dfm_sim Hashtbl List

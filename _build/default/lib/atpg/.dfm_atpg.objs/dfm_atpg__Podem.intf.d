@@ -1,0 +1,1 @@
+lib/atpg/podem.mli: Dfm_faults Dfm_sim

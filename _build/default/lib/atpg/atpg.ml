@@ -1,0 +1,244 @@
+module N = Dfm_netlist.Netlist
+module F = Dfm_faults.Fault
+module Ls = Dfm_sim.Logic_sim
+module Fs = Dfm_sim.Fault_sim
+module Rng = Dfm_util.Rng
+
+type status = Detected | Undetectable | Aborted
+
+type counts = {
+  total : int;
+  detected : int;
+  undetectable : int;
+  aborted : int;
+  undetectable_internal : int;
+  undetectable_external : int;
+  sat_queries : int;
+}
+
+type classification = { status : status array; counts : counts }
+
+type generation = {
+  classification : classification;
+  tests : bool array list;
+  cross_check_failures : int;
+}
+
+(* Shared campaign state. *)
+type state = {
+  ls : Ls.t;
+  fs : Fs.t;
+  faults : F.t array;
+  st : int array;  (* 0 unresolved, 1 detected, 2 undetectable, 3 aborted *)
+  tf_init : bool array;   (* transition frame-1 covered *)
+  tf_stuck : bool array;  (* transition frame-2 covered *)
+  mutable unresolved : int;
+  mutable sat_queries : int;
+}
+
+let make_state nl faults =
+  let ls = Ls.prepare nl in
+  {
+    ls;
+    fs = Fs.prepare nl;
+    faults;
+    st = Array.make (Array.length faults) 0;
+    tf_init = Array.make (Array.length faults) false;
+    tf_stuck = Array.make (Array.length faults) false;
+    unresolved = Array.length faults;
+    sat_queries = 0;
+  }
+
+let resolve s fid v =
+  if s.st.(fid) = 0 then begin
+    s.st.(fid) <- v;
+    s.unresolved <- s.unresolved - 1
+  end
+
+let is_transition (f : F.t) = match f.F.kind with F.Transition _ -> true | _ -> false
+
+(* Apply the detection evidence of one simulated word restricted to bit
+   [mask] (use [-1L] for all 64 bits). *)
+let apply_words s ~mask ~good fid =
+  let f = s.faults.(fid) in
+  if is_transition f then begin
+    let dw = Int64.logand mask (Fs.detect_word s.fs ~good f) in
+    let iw = Int64.logand mask (Fs.init_word s.fs ~good f) in
+    if dw <> 0L then s.tf_stuck.(fid) <- true;
+    if iw <> 0L then s.tf_init.(fid) <- true;
+    if s.tf_stuck.(fid) && s.tf_init.(fid) then resolve s fid 1
+  end
+  else begin
+    let dw = Int64.logand mask (Fs.detect_word s.fs ~good f) in
+    if dw <> 0L then resolve s fid 1
+  end
+
+let run_block s words =
+  let good = Ls.run s.ls words in
+  for fid = 0 to Array.length s.faults - 1 do
+    if s.st.(fid) = 0 then apply_words s ~mask:(-1L) ~good fid
+  done
+
+let sat_phase ?max_conflicts s =
+  for fid = 0 to Array.length s.faults - 1 do
+    if s.st.(fid) = 0 then begin
+      s.sat_queries <- s.sat_queries + 1;
+      match Encode.check ?max_conflicts s.ls s.faults.(fid) with
+      | Encode.Tests _ -> resolve s fid 1
+      | Encode.Undetectable -> resolve s fid 2
+      | Encode.Unknown -> resolve s fid 3
+    end
+  done
+
+let finish_counts s =
+  let detected = ref 0 and undet = ref 0 and aborted = ref 0 in
+  let undet_int = ref 0 and undet_ext = ref 0 in
+  let status =
+    Array.mapi
+      (fun fid v ->
+        match v with
+        | 1 ->
+            incr detected;
+            Detected
+        | 2 ->
+            incr undet;
+            if F.is_internal s.faults.(fid) then incr undet_int else incr undet_ext;
+            Undetectable
+        | 3 ->
+            incr aborted;
+            Aborted
+        | _ -> failwith "Atpg: unresolved fault at the end of a campaign")
+      s.st
+  in
+  {
+    status;
+    counts =
+      {
+        total = Array.length s.faults;
+        detected = !detected;
+        undetectable = !undet;
+        aborted = !aborted;
+        undetectable_internal = !undet_int;
+        undetectable_external = !undet_ext;
+        sat_queries = s.sat_queries;
+      };
+  }
+
+let classify ?(seed = 1) ?max_conflicts ?(random_blocks = 16) nl faults =
+  let s = make_state nl faults in
+  let rng = Rng.create (seed + 77) in
+  let blocks = ref 0 in
+  while !blocks < random_blocks && s.unresolved > 0 do
+    incr blocks;
+    run_block s (Ls.random_words s.ls rng)
+  done;
+  sat_phase ?max_conflicts s;
+  finish_counts s
+
+(* ------------------------------------------------------------------ *)
+(* Test generation with fault dropping and greedy per-word compaction  *)
+(* ------------------------------------------------------------------ *)
+
+let bit b w = Int64.logand (Int64.shift_right_logical w b) 1L = 1L
+
+let generate ?(seed = 1) ?max_conflicts nl faults =
+  let s = make_state nl faults in
+  let rng = Rng.create (seed + 177) in
+  let nf = Array.length faults in
+  let tests = ref [] in
+  let cross_fail = ref 0 in
+  let dws = Array.make nf 0L and iws = Array.make nf 0L in
+  (* Turn one SAT test into a 64-variant word, pick the bit position that
+     resolves the most faults, record that pattern, and drop. *)
+  let apply_test (t : Encode.test) ~target =
+    let words =
+      Array.of_list
+        (List.mapi
+           (fun i (_, _) ->
+             if t.Encode.cared.(i) then if t.Encode.values.(i) then -1L else 0L
+             else Rng.bits64 rng)
+           (Ls.inputs s.ls))
+    in
+    let good = Ls.run s.ls words in
+    for fid = 0 to nf - 1 do
+      if s.st.(fid) = 0 then begin
+        dws.(fid) <- Fs.detect_word s.fs ~good faults.(fid);
+        iws.(fid) <- (if is_transition faults.(fid) then Fs.init_word s.fs ~good faults.(fid) else 0L)
+      end
+      else begin
+        dws.(fid) <- 0L;
+        iws.(fid) <- 0L
+      end
+    done;
+    (* Count prospective resolutions per bit position. *)
+    let gain = Array.make 64 0 in
+    for fid = 0 to nf - 1 do
+      if s.st.(fid) = 0 then begin
+        let w =
+          if is_transition faults.(fid) then begin
+            (* A bit helps if it completes the pair. *)
+            if s.tf_init.(fid) then dws.(fid)
+            else if s.tf_stuck.(fid) then iws.(fid)
+            else Int64.logand dws.(fid) iws.(fid)
+          end
+          else dws.(fid)
+        in
+        let w = ref w in
+        while !w <> 0L do
+          let lsb = Int64.logand !w (Int64.neg !w) in
+          let b = ref 0 in
+          let x = ref lsb in
+          while Int64.logand !x 1L = 0L do
+            x := Int64.shift_right_logical !x 1;
+            incr b
+          done;
+          gain.(!b) <- gain.(!b) + 1;
+          w := Int64.logxor !w lsb
+        done
+      end
+    done;
+    let best = ref 0 in
+    for b = 1 to 63 do
+      if gain.(b) > gain.(!best) then best := b
+    done;
+    let b = !best in
+    (* The target must be covered at the chosen bit (its cared inputs are
+       identical in every bit position); a miss is an engine disagreement. *)
+    (if s.st.(target) = 0 then
+       let covered =
+         if is_transition faults.(target) then bit b dws.(target) || bit b iws.(target)
+         else bit b dws.(target)
+       in
+       if not covered then incr cross_fail);
+    tests := Ls.pattern_of_words words b :: !tests;
+    let mask = Int64.shift_left 1L b in
+    for fid = 0 to nf - 1 do
+      if s.st.(fid) = 0 then begin
+        if is_transition faults.(fid) then begin
+          if Int64.logand mask dws.(fid) <> 0L then s.tf_stuck.(fid) <- true;
+          if Int64.logand mask iws.(fid) <> 0L then s.tf_init.(fid) <- true;
+          if s.tf_stuck.(fid) && s.tf_init.(fid) then resolve s fid 1
+        end
+        else if Int64.logand mask dws.(fid) <> 0L then resolve s fid 1
+      end
+    done
+  in
+  for fid = 0 to nf - 1 do
+    if s.st.(fid) = 0 then begin
+      s.sat_queries <- s.sat_queries + 1;
+      match Encode.check ?max_conflicts s.ls faults.(fid) with
+      | Encode.Undetectable -> resolve s fid 2
+      | Encode.Unknown -> resolve s fid 3
+      | Encode.Tests pats ->
+          List.iter (fun t -> apply_test t ~target:fid) pats;
+          (* The SAT engine proved detectability; if simulation-based dropping
+             somehow missed the target, trust the proof but flag it. *)
+          if s.st.(fid) = 0 then begin
+            incr cross_fail;
+            resolve s fid 1
+          end
+    end
+  done;
+  { classification = finish_counts s; tests = List.rev !tests; cross_check_failures = !cross_fail }
+
+let coverage c = 100.0 *. (1.0 -. (float_of_int c.undetectable /. float_of_int (max 1 c.total)))

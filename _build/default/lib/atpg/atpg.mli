@@ -1,0 +1,64 @@
+(** Automatic test pattern generation campaigns over a DFM fault list.
+
+    Two entry points share the same detection semantics:
+
+    - {!classify} answers only "which faults are detectable?" — a
+      random-pattern phase drops the easy faults, then each survivor gets a
+      SAT query whose UNSAT outcome *proves* undetectability.  This is the
+      fast path used inside the resynthesis loop, where only the undetectable
+      counts matter.
+
+    - {!generate} additionally builds a compacted test set [T] (the paper's
+      column [T]): faults are processed in order; an undetected fault gets a
+      SAT-generated test whose unconstrained inputs are randomized in all 64
+      bit positions, the most profitable bit position becomes the test, and
+      every fault it detects is dropped.
+
+    Transition faults account for both components (frame-1 initialization and
+    frame-2 detection, possibly covered by different tests — the enhanced
+    scan pairing documented in [Fault]). *)
+
+type status = Detected | Undetectable | Aborted
+
+type counts = {
+  total : int;
+  detected : int;
+  undetectable : int;
+  aborted : int;
+  undetectable_internal : int;
+  undetectable_external : int;
+  sat_queries : int;
+}
+
+type classification = {
+  status : status array;  (** indexed by [fault_id] *)
+  counts : counts;
+}
+
+type generation = {
+  classification : classification;
+  tests : bool array list;
+      (** compacted test set, patterns over {!Dfm_sim.Logic_sim.inputs} *)
+  cross_check_failures : int;
+      (** SAT-generated tests the fault simulator disagreed with (0 in a
+          healthy build; surfaced for the test suite) *)
+}
+
+val classify :
+  ?seed:int ->
+  ?max_conflicts:int ->
+  ?random_blocks:int ->
+  Dfm_netlist.Netlist.t ->
+  Dfm_faults.Fault.t array ->
+  classification
+(** [random_blocks] 64-pattern blocks precede the SAT phase (default 16). *)
+
+val generate :
+  ?seed:int ->
+  ?max_conflicts:int ->
+  Dfm_netlist.Netlist.t ->
+  Dfm_faults.Fault.t array ->
+  generation
+
+val coverage : counts -> float
+(** The paper's [Cov = 1 - U/F], as a percentage. *)

@@ -1,0 +1,87 @@
+module N = Dfm_netlist.Netlist
+module F = Dfm_faults.Fault
+module Ls = Dfm_sim.Logic_sim
+module Fs = Dfm_sim.Fault_sim
+
+let is_tf (f : F.t) = match f.F.kind with F.Transition _ -> true | _ -> false
+
+(* Per-test detection profile: which faults' frame-2 (stuck) components and
+   frame-1 (init) components each test covers.  For non-transition faults
+   only the detect component exists. *)
+let profiles nl ~faults ~tests =
+  let ls = Ls.prepare nl in
+  let fs = Fs.prepare nl in
+  List.map
+    (fun pattern ->
+      let good = Ls.run ls (Ls.words_of_pattern pattern) in
+      Array.map
+        (fun (f : F.t) ->
+          let d = Fs.detect_word fs ~good f <> 0L in
+          let i = is_tf f && Fs.init_word fs ~good f <> 0L in
+          (d, i))
+        faults)
+    tests
+
+let coverage_of_profiles faults profs =
+  let n = Array.length faults in
+  let stuck = Array.make n false and init = Array.make n false in
+  List.iter
+    (fun prof ->
+      Array.iteri
+        (fun fid (d, i) ->
+          if d then stuck.(fid) <- true;
+          if i then init.(fid) <- true)
+        prof)
+    profs;
+  let covered = ref 0 in
+  Array.iteri
+    (fun fid f -> if stuck.(fid) && ((not (is_tf f)) || init.(fid)) then incr covered)
+    faults;
+  !covered
+
+let detects nl ~faults ~tests = coverage_of_profiles faults (profiles nl ~faults ~tests)
+
+let reverse_order nl ~faults ~tests =
+  let profs = Array.of_list (profiles nl ~faults ~tests) in
+  let tests_arr = Array.of_list tests in
+  let n_tests = Array.length tests_arr in
+  let nf = Array.length faults in
+  (* Which components the full set covers (a component missing from the full
+     set can never become a reason to keep a test). *)
+  let stuck_needed = Array.make nf false and init_needed = Array.make nf false in
+  Array.iter
+    (fun prof ->
+      Array.iteri
+        (fun fid (d, i) ->
+          if d then stuck_needed.(fid) <- true;
+          if i then init_needed.(fid) <- true)
+        prof)
+    profs;
+  (* A fault is fully coverable when its stuck component is covered and, for
+     a transition fault, its init component too. *)
+  let coverable fid =
+    stuck_needed.(fid) && ((not (is_tf faults.(fid))) || init_needed.(fid))
+  in
+  (* Reverse pass: keep a test iff it contributes a still-missing component
+     of a coverable fault. *)
+  let stuck_have = Array.make nf false and init_have = Array.make nf false in
+  let keep = Array.make n_tests false in
+  for t = n_tests - 1 downto 0 do
+    let contributes = ref false in
+    Array.iteri
+      (fun fid (d, i) ->
+        if coverable fid then begin
+          if d && not stuck_have.(fid) then contributes := true;
+          if is_tf faults.(fid) && i && not init_have.(fid) then contributes := true
+        end)
+      profs.(t);
+    if !contributes then begin
+      keep.(t) <- true;
+      Array.iteri
+        (fun fid (d, i) ->
+          if d then stuck_have.(fid) <- true;
+          if i then init_have.(fid) <- true)
+        profs.(t)
+    end
+  done;
+  List.filteri (fun t _ -> keep.(t)) (Array.to_list tests_arr)

@@ -1,0 +1,25 @@
+(** Static test-set compaction.
+
+    The paper's column [T] matters because tester time scales with it
+    (Section I: more patterns for the DFM faults must not explode the test
+    set).  {!Atpg.generate} already compacts greedily during generation;
+    this pass squeezes further after the fact: simulate the set in reverse
+    order and keep only tests that detect at least one not-yet-covered
+    fault — the classic reverse-order static compaction. *)
+
+val reverse_order :
+  Dfm_netlist.Netlist.t ->
+  faults:Dfm_faults.Fault.t array ->
+  tests:bool array list ->
+  bool array list
+(** The kept subset, in original order.  Coverage is preserved: every fault
+    detected by the input set is detected by the result (transition faults
+    keep both their frame-1 and frame-2 witnesses). *)
+
+val detects :
+  Dfm_netlist.Netlist.t ->
+  faults:Dfm_faults.Fault.t array ->
+  tests:bool array list ->
+  int
+(** Number of faults the test set detects (transition faults need both
+    components covered) — the coverage oracle used by tests. *)

@@ -1,0 +1,263 @@
+module N = Dfm_netlist.Netlist
+module Cell = Dfm_netlist.Cell
+module F = Dfm_faults.Fault
+module Solver = Dfm_sat.Solver
+module Tseitin = Dfm_sat.Tseitin
+module Tt = Dfm_logic.Truthtable
+
+type test = { values : bool array; cared : bool array }
+
+type verdict = Tests of test list | Undetectable | Unknown
+
+(* One miter-building context per SAT query. *)
+type ctx = {
+  nl : N.t;
+  solver : Solver.t;
+  good : int array;     (* net id -> good var (0 = not yet encoded) *)
+  faulty : int array;   (* net id -> faulty var (0 = none / equal to good) *)
+  is_observe : bool array;
+}
+
+let make_ctx ls =
+  let nl = Dfm_sim.Logic_sim.netlist ls in
+  let is_observe = Array.make (N.num_nets nl) false in
+  List.iter (fun (_, n) -> is_observe.(n) <- true) (Dfm_sim.Logic_sim.observes ls);
+  {
+    nl;
+    solver = Solver.create ();
+    good = Array.make (N.num_nets nl) 0;
+    faulty = Array.make (N.num_nets nl) 0;
+    is_observe;
+  }
+
+(* Encode the fault-free function of a net, recursively pulling in its
+   transitive fanin.  Nets driven by flip-flops are free variables (scan
+   makes them controllable). *)
+let rec good_var ctx n =
+  if ctx.good.(n) <> 0 then ctx.good.(n)
+  else begin
+    let v = Solver.new_var ctx.solver in
+    ctx.good.(n) <- v;
+    (match (N.net ctx.nl n).N.driver with
+    | N.Pi _ -> ()
+    | N.Const b -> if b then Tseitin.const_true ctx.solver v else Tseitin.const_false ctx.solver v
+    | N.Gate_out g ->
+        let gg = N.gate ctx.nl g in
+        if not gg.N.cell.Cell.is_seq then begin
+          let ins = Array.map (fun fn -> good_var ctx fn) gg.N.fanins in
+          Tseitin.of_truthtable ctx.solver ~out:v ins gg.N.cell.Cell.func
+        end);
+    v
+  end
+
+(* The transitive fanout of the seed nets through combinational gates,
+   returned as (cone net set, member gates in topo order). *)
+let fanout_cone ctx ls seeds =
+  let in_cone = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace in_cone n ()) seeds;
+  let order = Dfm_sim.Logic_sim.topo ls in
+  let cone_gates = ref [] in
+  Array.iter
+    (fun gid ->
+      let g = N.gate ctx.nl gid in
+      if
+        (not (Hashtbl.mem in_cone g.N.fanout))
+        && Array.exists (fun fn -> Hashtbl.mem in_cone fn) g.N.fanins
+      then begin
+        Hashtbl.replace in_cone g.N.fanout ();
+        cone_gates := gid :: !cone_gates
+      end)
+    order;
+  (in_cone, List.rev !cone_gates)
+
+(* Faulty copy of every cone gate (excluding the seeds, whose faulty vars the
+   caller constrains), plus the difference-at-observable-point requirement. *)
+let build_cone_and_observe ctx ls seeds =
+  let in_cone, cone_gates = fanout_cone ctx ls seeds in
+  List.iter
+    (fun gid ->
+      let g = N.gate ctx.nl gid in
+      let out = g.N.fanout in
+      let v = Solver.new_var ctx.solver in
+      ctx.faulty.(out) <- v;
+      let ins =
+        Array.map
+          (fun fn -> if ctx.faulty.(fn) <> 0 then ctx.faulty.(fn) else good_var ctx fn)
+          g.N.fanins
+      in
+      Tseitin.of_truthtable ctx.solver ~out:v ins g.N.cell.Cell.func)
+    cone_gates;
+  let diffs = ref [] in
+  Hashtbl.iter
+    (fun n () ->
+      if ctx.is_observe.(n) then begin
+        let d = Solver.new_var ctx.solver in
+        Tseitin.xor_ ctx.solver ~out:d (good_var ctx n) ctx.faulty.(n);
+        diffs := d :: !diffs
+      end)
+    in_cone;
+  match !diffs with
+  | [] -> false  (* no observable point reachable: trivially undetectable *)
+  | ds ->
+      Solver.add_clause ctx.solver ds;
+      true
+
+let extract_tests ctx ls =
+  let ins = Dfm_sim.Logic_sim.inputs ls in
+  let values =
+    Array.of_list
+      (List.map
+         (fun (_, n) -> ctx.good.(n) <> 0 && Solver.value ctx.solver ctx.good.(n))
+         ins)
+  in
+  let cared = Array.of_list (List.map (fun (_, n) -> ctx.good.(n) <> 0) ins) in
+  { values; cared }
+
+(* Pattern-matching constraint: the good values of a gate's fanins equal one
+   of the given minterms. *)
+let add_activation_minterms ctx (g : N.gate) minterms =
+  let n = Array.length g.N.fanins in
+  let fanin_vars = Array.map (fun fn -> good_var ctx fn) g.N.fanins in
+  let selectors =
+    List.map
+      (fun m ->
+        let s = Solver.new_var ctx.solver in
+        let lits =
+          Array.to_list
+            (Array.mapi (fun k v -> if (m lsr k) land 1 = 1 then v else -v) fanin_vars)
+        in
+        Tseitin.and_ ctx.solver ~out:s lits;
+        ignore n;
+        s)
+      minterms
+  in
+  Solver.add_clause ctx.solver selectors
+
+let lit_for_value var value = if value then var else -var
+
+let solve_to_verdict ?max_conflicts ctx ls =
+  match Solver.solve ?max_conflicts ctx.solver with
+  | Solver.Sat -> Tests [ extract_tests ctx ls ]
+  | Solver.Unsat -> Undetectable
+  | Solver.Unknown -> Unknown
+
+(* A pure controllability query: can [net] take [value]? *)
+let controllability ?max_conflicts ls net value =
+  let ctx = make_ctx ls in
+  let v = good_var ctx net in
+  Solver.add_clause ctx.solver [ lit_for_value v value ];
+  solve_to_verdict ?max_conflicts ctx ls
+
+let is_seq_gate nl g = (N.gate nl g).N.cell.Cell.is_seq
+
+let forced = function F.Sa0 -> false | F.Sa1 -> true
+
+(* Stuck-at detection query (also the frame-2 component of transitions). *)
+let stuck_query ?max_conflicts ls loc pol =
+  let nl = Dfm_sim.Logic_sim.netlist ls in
+  match loc with
+  | F.On_pin (g, pin) when is_seq_gate nl g ->
+      (* The flop captures the forced value; detection = putting the opposite
+         value on D. *)
+      controllability ?max_conflicts ls (N.gate nl g).N.fanins.(pin) (not (forced pol))
+  | F.On_net n ->
+      let ctx = make_ctx ls in
+      let fv = Solver.new_var ctx.solver in
+      ctx.faulty.(n) <- fv;
+      Solver.add_clause ctx.solver [ lit_for_value fv (forced pol) ];
+      (* Activation: the good value differs from the forced one. *)
+      Solver.add_clause ctx.solver [ lit_for_value (good_var ctx n) (not (forced pol)) ];
+      (* Seed nets are part of the cone, so an observable seed (PO or flop
+         D net) contributes its own difference variable. *)
+      if build_cone_and_observe ctx ls [ n ] then solve_to_verdict ?max_conflicts ctx ls
+      else Undetectable
+  | F.On_pin (g, pin) ->
+      let ctx = make_ctx ls in
+      let gg = N.gate nl g in
+      let out = gg.N.fanout in
+      let fv = Solver.new_var ctx.solver in
+      ctx.faulty.(out) <- fv;
+      (* Faulty host-gate evaluation with the pin forced. *)
+      let ins =
+        Array.mapi
+          (fun k fn ->
+            if k = pin then (
+              let c = Solver.new_var ctx.solver in
+              Solver.add_clause ctx.solver [ lit_for_value c (forced pol) ];
+              c)
+            else good_var ctx fn)
+          gg.N.fanins
+      in
+      Tseitin.of_truthtable ctx.solver ~out:fv ins gg.N.cell.Cell.func;
+      (* Activation: the pin's good value differs from the forced one. *)
+      Solver.add_clause ctx.solver
+        [ lit_for_value (good_var ctx gg.N.fanins.(pin)) (not (forced pol)) ];
+      if build_cone_and_observe ctx ls [ out ] || ctx.is_observe.(out) then
+        solve_to_verdict ?max_conflicts ctx ls
+      else Undetectable
+
+let transition_components tr =
+  (* (frame-1 required initial value, frame-2 stuck polarity) *)
+  match tr with F.Slow_to_rise -> (false, F.Sa0) | F.Slow_to_fall -> (true, F.Sa1)
+
+let loc_net nl = function
+  | F.On_net n -> n
+  | F.On_pin (g, pin) -> (N.gate nl g).N.fanins.(pin)
+
+let check ?max_conflicts ls (f : F.t) =
+  let nl = Dfm_sim.Logic_sim.netlist ls in
+  match f.F.kind with
+  | F.Stuck (loc, pol) -> stuck_query ?max_conflicts ls loc pol
+  | F.Transition (loc, tr) -> (
+      let init_value, pol = transition_components tr in
+      match controllability ?max_conflicts ls (loc_net nl loc) init_value with
+      | Undetectable -> Undetectable
+      | Unknown -> Unknown
+      | Tests init_tests -> (
+          match stuck_query ?max_conflicts ls loc pol with
+          | Undetectable -> Undetectable
+          | Unknown -> Unknown
+          | Tests stuck_tests -> Tests (init_tests @ stuck_tests)))
+  | F.Bridge (n1, n2, k) ->
+      let ctx = make_ctx ls in
+      let g1 = good_var ctx n1 and g2 = good_var ctx n2 in
+      let r = Solver.new_var ctx.solver in
+      (match k with
+      | F.Wired_and -> Tseitin.and_ ctx.solver ~out:r [ g1; g2 ]
+      | F.Wired_or -> Tseitin.or_ ctx.solver ~out:r [ g1; g2 ]);
+      ctx.faulty.(n1) <- r;
+      ctx.faulty.(n2) <- r;
+      (* Activation: the bridged nets must disagree. *)
+      let d = Solver.new_var ctx.solver in
+      Tseitin.xor_ ctx.solver ~out:d g1 g2;
+      Solver.add_clause ctx.solver [ d ];
+      if build_cone_and_observe ctx ls [ n1; n2 ] then
+        solve_to_verdict ?max_conflicts ctx ls
+      else Undetectable
+  | F.Internal (g, entry_idx) ->
+      let gg = N.gate nl g in
+      let u = Dfm_cellmodel.Udfm.for_cell gg.N.cell.Cell.name in
+      let entry = List.nth u.Dfm_cellmodel.Udfm.entries entry_idx in
+      let activation = entry.Dfm_cellmodel.Udfm.activation in
+      if gg.N.cell.Cell.is_seq then begin
+        (* Activation over the D value; the corrupted captured value is
+           observed directly on the scan path. *)
+        let ctx = make_ctx ls in
+        let d = good_var ctx gg.N.fanins.(0) in
+        let lits = List.map (fun m -> lit_for_value d (m land 1 = 1)) activation in
+        Solver.add_clause ctx.solver lits;
+        solve_to_verdict ?max_conflicts ctx ls
+      end
+      else begin
+        let ctx = make_ctx ls in
+        let out = gg.N.fanout in
+        add_activation_minterms ctx gg activation;
+        (* When activated the defective cell output is the complement of the
+           good output (see Udfm). *)
+        let fv = Solver.new_var ctx.solver in
+        ctx.faulty.(out) <- fv;
+        Tseitin.not_ ctx.solver ~out:fv (good_var ctx out);
+        if build_cone_and_observe ctx ls [ out ] then
+          solve_to_verdict ?max_conflicts ctx ls
+        else Undetectable
+      end

@@ -1,0 +1,33 @@
+(** SAT encoding of fault-detection conditions.
+
+    For each fault a *detection miter* is built over the cone of influence:
+    the fault-free circuit restricted to the transitive fanin of the region
+    of interest, a faulty copy of the transitive fanout of the fault site,
+    an activation constraint specific to the fault model, and a requirement
+    that at least one observable point differs.  SAT yields a test pattern;
+    UNSAT is a proof that the fault is undetectable — the property whose
+    spatial clustering the paper studies.
+
+    Transition faults issue two queries (frame-1 initialization and frame-2
+    stuck-at detection, under the enhanced-scan assumption); both must be
+    satisfiable for the fault to be detectable. *)
+
+type test = {
+  values : bool array;
+      (** over the controllable points in {!Dfm_sim.Logic_sim.inputs} order;
+          points outside the miter's cone of influence are [false] *)
+  cared : bool array;
+      (** which points the miter actually constrained — the rest may be
+          re-randomized freely without losing detection of this fault *)
+}
+
+type verdict =
+  | Tests of test list  (** one pattern, or two for a transition fault *)
+  | Undetectable
+  | Unknown  (** conflict budget exhausted (not produced at the defaults) *)
+
+val check :
+  ?max_conflicts:int ->
+  Dfm_sim.Logic_sim.t ->
+  Dfm_faults.Fault.t ->
+  verdict

@@ -1,0 +1,15 @@
+(** SAT-based combinational equivalence checking of two netlists.
+
+    Scales to the full benchmark blocks where the BDD checker
+    ({!Dfm_netlist.Equiv}) may blow up: a miter is built with the
+    controllable points shared by label and a difference required at some
+    observable point; UNSAT proves equivalence.  This is the check the
+    resynthesis flow and the benches use to confirm that rewriting never
+    changed circuit function. *)
+
+type verdict =
+  | Equivalent
+  | Different of string  (** label of a differing observable point *)
+  | Interface_mismatch of string
+
+val check : Dfm_netlist.Netlist.t -> Dfm_netlist.Netlist.t -> verdict

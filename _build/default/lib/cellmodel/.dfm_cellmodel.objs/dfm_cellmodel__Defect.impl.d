@@ -1,0 +1,1 @@
+lib/cellmodel/defect.ml: List Printf Switch

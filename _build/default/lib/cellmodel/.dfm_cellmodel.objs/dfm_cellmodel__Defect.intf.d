@@ -1,0 +1,1 @@
+lib/cellmodel/defect.mli: Switch

@@ -1,0 +1,1 @@
+lib/cellmodel/osu018.ml: Array Char Defect Dfm_logic Dfm_netlist Float Hashtbl List String Switch

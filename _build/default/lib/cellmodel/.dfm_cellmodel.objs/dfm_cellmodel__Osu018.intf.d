@@ -1,0 +1,1 @@
+lib/cellmodel/osu018.mli: Defect Dfm_netlist Switch

@@ -1,0 +1,1 @@
+lib/cellmodel/switch.ml: Array Hashtbl List Printf

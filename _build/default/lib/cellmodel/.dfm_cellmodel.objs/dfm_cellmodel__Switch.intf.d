@@ -1,0 +1,1 @@
+lib/cellmodel/switch.mli:

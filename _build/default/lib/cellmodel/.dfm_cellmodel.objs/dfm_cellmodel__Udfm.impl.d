@@ -1,0 +1,1 @@
+lib/cellmodel/udfm.ml: Array Defect Dfm_logic Dfm_netlist Hashtbl Lazy List Osu018 Printf Switch

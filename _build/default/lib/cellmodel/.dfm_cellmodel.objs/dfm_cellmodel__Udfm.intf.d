@@ -1,0 +1,1 @@
+lib/cellmodel/udfm.mli: Defect Osu018

@@ -1,0 +1,37 @@
+type t =
+  | Transistor_stuck_off of int
+  | Drain_source_short of int
+  | Node_short of Switch.node * Switch.node
+  | Pin_open of string
+
+let to_condition (c : Switch.circuit) = function
+  | Transistor_stuck_off i -> { Switch.healthy with Switch.stuck_off = [ i ] }
+  | Drain_source_short i ->
+      let d = List.find (fun (t : Switch.transistor) -> t.Switch.t_id = i) c.Switch.devices in
+      { Switch.healthy with Switch.shorted = [ (d.Switch.a, d.Switch.b) ] }
+  | Node_short (a, b) -> { Switch.healthy with Switch.shorted = [ (a, b) ] }
+  | Pin_open p -> { Switch.healthy with Switch.open_pins = [ p ] }
+
+let node_to_string = function
+  | Switch.Vdd -> "VDD"
+  | Switch.Gnd -> "GND"
+  | Switch.Out -> "OUT"
+  | Switch.Pin p -> p
+  | Switch.Mid m -> Printf.sprintf "mid%d" m
+
+let describe = function
+  | Transistor_stuck_off i -> Printf.sprintf "open device M%d" i
+  | Drain_source_short i -> Printf.sprintf "channel short M%d" i
+  | Node_short (a, b) -> Printf.sprintf "short %s-%s" (node_to_string a) (node_to_string b)
+  | Pin_open p -> Printf.sprintf "open pin %s" p
+
+type category = Via | Metal | Density
+
+let category_to_string = function Via -> "Via" | Metal -> "Metal" | Density -> "Density"
+
+type site = {
+  site_id : int;
+  category : category;
+  guideline_index : int;
+  defect : t;
+}

@@ -1,0 +1,34 @@
+(** Intra-cell defects and the DFM-guideline sites that predict them.
+
+    Each standard cell carries a list of {!site}s: locations in its (abstract)
+    layout where a DFM guideline is violated and a systematic defect is
+    therefore anticipated.  A site names the guideline category it violates
+    and the physical defect it would produce; {!Udfm} turns the defect into
+    gate-level activation patterns by switch-level simulation. *)
+
+type t =
+  | Transistor_stuck_off of int
+      (** broken contact / open channel: the device never conducts *)
+  | Drain_source_short of int
+      (** lithography short across a device channel: always conducts *)
+  | Node_short of Switch.node * Switch.node
+      (** metal short between two cell nodes *)
+  | Pin_open of string
+      (** broken input-pin contact: driven gates float, pin stops sourcing *)
+
+val to_condition : Switch.circuit -> t -> Switch.condition
+(** The simulation condition representing one defect in a given cell network
+    (the circuit is needed to resolve a device's channel terminals). *)
+
+val describe : t -> string
+
+type category = Via | Metal | Density
+
+val category_to_string : category -> string
+
+type site = {
+  site_id : int;          (** dense per cell *)
+  category : category;    (** violated DFM guideline category *)
+  guideline_index : int;  (** index of the guideline within its category *)
+  defect : t;
+}

@@ -1,0 +1,347 @@
+module Tt = Dfm_logic.Truthtable
+
+type model = {
+  cell : Dfm_netlist.Cell.t;
+  network : Switch.circuit option;
+  sites : Defect.site list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Transistor-network construction DSL                                 *)
+(* ------------------------------------------------------------------ *)
+
+type nb = {
+  mutable devs : Switch.transistor list;  (* reversed *)
+  mutable n_devs : int;
+  mutable n_mids : int;
+}
+
+let nb () = { devs = []; n_devs = 0; n_mids = 0 }
+
+let mid b =
+  let m = b.n_mids in
+  b.n_mids <- m + 1;
+  Switch.Mid m
+
+let dev b mos g a bn =
+  let t = { Switch.t_id = b.n_devs; mos; g; a; b = bn } in
+  b.devs <- t :: b.devs;
+  b.n_devs <- b.n_devs + 1
+
+(* A series chain of devices of one type, gates given in order, between two
+   nodes. *)
+let series b mos gates from_node to_node =
+  let rec go cur = function
+    | [] -> assert false
+    | [ g ] -> dev b mos g cur to_node
+    | g :: rest ->
+        let m = mid b in
+        dev b mos g cur m;
+        go m rest
+  in
+  go from_node gates
+
+let parallel b mos gates from_node to_node =
+  List.iter (fun g -> dev b mos g from_node to_node) gates
+
+let finish name b =
+  let c = { Switch.c_name = name; devices = List.rev b.devs; n_mids = b.n_mids } in
+  Switch.validate c;
+  c
+
+let pin p = Switch.Pin p
+
+(* ------------------------------------------------------------------ *)
+(* Networks for each combinational cell                                 *)
+(* ------------------------------------------------------------------ *)
+
+let inv_network name mult =
+  let b = nb () in
+  for _ = 1 to mult do
+    dev b Switch.Pmos (pin "A") Switch.Vdd Switch.Out;
+    dev b Switch.Nmos (pin "A") Switch.Gnd Switch.Out
+  done;
+  finish name b
+
+let buf_network name =
+  let b = nb () in
+  let m = mid b in
+  dev b Switch.Pmos (pin "A") Switch.Vdd m;
+  dev b Switch.Nmos (pin "A") Switch.Gnd m;
+  dev b Switch.Pmos m Switch.Vdd Switch.Out;
+  dev b Switch.Nmos m Switch.Gnd Switch.Out;
+  finish name b
+
+let nand_network name inputs =
+  let b = nb () in
+  let gates = List.map pin inputs in
+  series b Switch.Nmos gates Switch.Gnd Switch.Out;
+  parallel b Switch.Pmos gates Switch.Vdd Switch.Out;
+  finish name b
+
+let nor_network name inputs =
+  let b = nb () in
+  let gates = List.map pin inputs in
+  parallel b Switch.Nmos gates Switch.Gnd Switch.Out;
+  series b Switch.Pmos gates Switch.Vdd Switch.Out;
+  finish name b
+
+(* NAND/NOR stage driving an output inverter. *)
+let staged_network name stage =
+  let b = nb () in
+  let m = mid b in
+  (match stage with
+  | `Nand inputs ->
+      let gates = List.map pin inputs in
+      series b Switch.Nmos gates Switch.Gnd m;
+      parallel b Switch.Pmos gates Switch.Vdd m
+  | `Nor inputs ->
+      let gates = List.map pin inputs in
+      parallel b Switch.Nmos gates Switch.Gnd m;
+      series b Switch.Pmos gates Switch.Vdd m);
+  dev b Switch.Pmos m Switch.Vdd Switch.Out;
+  dev b Switch.Nmos m Switch.Gnd Switch.Out;
+  finish name b
+
+let xor_like_network name ~xnor =
+  let b = nb () in
+  let na = mid b and nbn = mid b in
+  dev b Switch.Pmos (pin "A") Switch.Vdd na;
+  dev b Switch.Nmos (pin "A") Switch.Gnd na;
+  dev b Switch.Pmos (pin "B") Switch.Vdd nbn;
+  dev b Switch.Nmos (pin "B") Switch.Gnd nbn;
+  (* Pull-down conducts when the output should be 0; pull-up when 1. *)
+  let pd1, pd2, pu1, pu2 =
+    if xnor then
+      (* XNOR = 0 when a <> b *)
+      ([ pin "A"; nbn ], [ na; pin "B" ], [ pin "A"; pin "B" ], [ na; nbn ])
+    else
+      (* XOR = 0 when a = b *)
+      ([ pin "A"; pin "B" ], [ na; nbn ], [ pin "A"; nbn ], [ na; pin "B" ])
+  in
+  series b Switch.Nmos pd1 Switch.Gnd Switch.Out;
+  series b Switch.Nmos pd2 Switch.Gnd Switch.Out;
+  (* P devices conduct on gate = 0, so a pull-up series for (x & y) uses the
+     complemented controls. *)
+  series b Switch.Pmos pu1 Switch.Vdd Switch.Out;
+  series b Switch.Pmos pu2 Switch.Vdd Switch.Out;
+  finish name b
+
+let aoi21_network name =
+  (* Y = !((A & B) | C) *)
+  let b = nb () in
+  series b Switch.Nmos [ pin "A"; pin "B" ] Switch.Gnd Switch.Out;
+  dev b Switch.Nmos (pin "C") Switch.Gnd Switch.Out;
+  let m = mid b in
+  parallel b Switch.Pmos [ pin "A"; pin "B" ] Switch.Vdd m;
+  dev b Switch.Pmos (pin "C") m Switch.Out;
+  finish name b
+
+let aoi22_network name =
+  (* Y = !((A & B) | (C & D)) *)
+  let b = nb () in
+  series b Switch.Nmos [ pin "A"; pin "B" ] Switch.Gnd Switch.Out;
+  series b Switch.Nmos [ pin "C"; pin "D" ] Switch.Gnd Switch.Out;
+  let m = mid b in
+  parallel b Switch.Pmos [ pin "A"; pin "B" ] Switch.Vdd m;
+  parallel b Switch.Pmos [ pin "C"; pin "D" ] m Switch.Out;
+  finish name b
+
+let aoi211_network name =
+  (* Y = !((A & B) | C | D) *)
+  let b = nb () in
+  series b Switch.Nmos [ pin "A"; pin "B" ] Switch.Gnd Switch.Out;
+  dev b Switch.Nmos (pin "C") Switch.Gnd Switch.Out;
+  dev b Switch.Nmos (pin "D") Switch.Gnd Switch.Out;
+  let m1 = mid b in
+  let m2 = mid b in
+  parallel b Switch.Pmos [ pin "A"; pin "B" ] Switch.Vdd m1;
+  dev b Switch.Pmos (pin "C") m1 m2;
+  dev b Switch.Pmos (pin "D") m2 Switch.Out;
+  finish name b
+
+let oai21_network name =
+  (* Y = !((A | B) & C) *)
+  let b = nb () in
+  let m = mid b in
+  parallel b Switch.Nmos [ pin "A"; pin "B" ] Switch.Gnd m;
+  dev b Switch.Nmos (pin "C") m Switch.Out;
+  series b Switch.Pmos [ pin "A"; pin "B" ] Switch.Vdd Switch.Out;
+  dev b Switch.Pmos (pin "C") Switch.Vdd Switch.Out;
+  finish name b
+
+let oai22_network name =
+  (* Y = !((A | B) & (C | D)) *)
+  let b = nb () in
+  let m = mid b in
+  parallel b Switch.Nmos [ pin "A"; pin "B" ] Switch.Gnd m;
+  parallel b Switch.Nmos [ pin "C"; pin "D" ] m Switch.Out;
+  series b Switch.Pmos [ pin "A"; pin "B" ] Switch.Vdd Switch.Out;
+  series b Switch.Pmos [ pin "C"; pin "D" ] Switch.Vdd Switch.Out;
+  finish name b
+
+let mux2_network name =
+  (* Y = S ? B : A, transmission gates plus select inverter *)
+  let b = nb () in
+  let sn = mid b in
+  dev b Switch.Pmos (pin "S") Switch.Vdd sn;
+  dev b Switch.Nmos (pin "S") Switch.Gnd sn;
+  (* A path conducts when S = 0. *)
+  dev b Switch.Nmos sn (pin "A") Switch.Out;
+  dev b Switch.Pmos (pin "S") (pin "A") Switch.Out;
+  (* B path conducts when S = 1. *)
+  dev b Switch.Nmos (pin "S") (pin "B") Switch.Out;
+  dev b Switch.Pmos sn (pin "B") Switch.Out;
+  finish name b
+
+(* ------------------------------------------------------------------ *)
+(* DFM-violation sites derived from the network structure               *)
+(* ------------------------------------------------------------------ *)
+
+let hash_name s =
+  let h = ref 5381 in
+  String.iter (fun c -> h := (!h * 33) + Char.code c) s;
+  abs !h
+
+(* Paper, Section IV: 19 Via guidelines, 29 Metal guidelines, 11 Density
+   guidelines. *)
+let n_via = 19
+let n_metal = 29
+let n_density = 11
+
+let sites_of_network (c : Switch.circuit) =
+  let h = hash_name c.Switch.c_name in
+  let sites = ref [] in
+  let n = ref 0 in
+  let add category guideline_index defect =
+    sites := { Defect.site_id = !n; category; guideline_index; defect } :: !sites;
+    incr n
+  in
+  List.iter
+    (fun (t : Switch.transistor) ->
+      (* Contact via on every device: an open disables the device. *)
+      add Defect.Via ((h + t.Switch.t_id) mod n_via) (Defect.Transistor_stuck_off t.Switch.t_id);
+      (* Channel-region density hotspot on every other device: a short. *)
+      if t.Switch.t_id mod 2 = 0 then
+        add Defect.Density ((h + t.Switch.t_id) mod n_density)
+          (Defect.Drain_source_short t.Switch.t_id))
+    c.Switch.devices;
+  for m = 0 to c.Switch.n_mids - 1 do
+    (* Narrow metal between a series-stack node and the output rail. *)
+    add Defect.Metal ((h + m) mod n_metal) (Defect.Node_short (Switch.Mid m, Switch.Out));
+    if m + 1 < c.Switch.n_mids then
+      add Defect.Metal ((h + (3 * m) + 1) mod n_metal)
+        (Defect.Node_short (Switch.Mid m, Switch.Mid (m + 1)))
+  done;
+  List.iter
+    (fun p -> add Defect.Via ((h + hash_name p) mod n_via) (Defect.Pin_open p))
+    (Switch.pins c);
+  (* Output rail running next to the supply rails. *)
+  add Defect.Metal ((h + 7) mod n_metal) (Defect.Node_short (Switch.Out, Switch.Vdd));
+  add Defect.Metal ((h + 11) mod n_metal) (Defect.Node_short (Switch.Out, Switch.Gnd));
+  List.rev !sites
+
+(* Hand-written sites for the flip-flop (not switch-simulated; see Udfm). *)
+let dff_sites =
+  let mk i category gi defect = { Defect.site_id = i; category; guideline_index = gi; defect } in
+  [
+    mk 0 Defect.Via 2 (Defect.Pin_open "D");
+    mk 1 Defect.Via 6 (Defect.Transistor_stuck_off 0);
+    mk 2 Defect.Via 9 (Defect.Transistor_stuck_off 1);
+    mk 3 Defect.Via 13 (Defect.Transistor_stuck_off 2);
+    mk 4 Defect.Via 17 (Defect.Transistor_stuck_off 3);
+    mk 5 Defect.Metal 3 (Defect.Node_short (Switch.Mid 0, Switch.Out));
+    mk 6 Defect.Metal 8 (Defect.Node_short (Switch.Mid 1, Switch.Out));
+    mk 7 Defect.Metal 15 (Defect.Node_short (Switch.Out, Switch.Vdd));
+    mk 8 Defect.Metal 22 (Defect.Node_short (Switch.Out, Switch.Gnd));
+    mk 9 Defect.Density 4 (Defect.Drain_source_short 4);
+    mk 10 Defect.Density 7 (Defect.Drain_source_short 5);
+    mk 11 Defect.Via 5 (Defect.Pin_open "CLK");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Cell metadata                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let tt_inputs = [| "A"; "B"; "C"; "D" |]
+
+let mk_cell ~name ~arity ~f ~strength ~transistors ?(is_seq = false) () =
+  let inputs =
+    if name = "MUX2X1" then [ "A"; "B"; "S" ]
+    else if is_seq then [ "D" ]
+    else List.init arity (fun i -> tt_inputs.(i))
+  in
+  let func = Tt.create arity f in
+  let area = 8.0 +. (2.5 *. float_of_int transistors) in
+  Dfm_netlist.Cell.make ~name ~inputs ~func ~area ~width:(area /. 5.0)
+    ~intrinsic_delay:(0.02 +. (0.008 *. float_of_int arity) +. (0.002 *. float_of_int transistors))
+    ~drive_res:(2.4 /. strength)
+    ~input_cap:(0.002 *. Float.max 1.0 (strength /. 1.5))
+    ~leakage:(0.04 *. float_of_int transistors)
+    ~transistors ~is_seq ()
+
+let comb name network ~arity ~f ~strength =
+  let transistors = List.length network.Switch.devices in
+  {
+    cell = mk_cell ~name ~arity ~f ~strength ~transistors ();
+    network = Some network;
+    sites = sites_of_network network;
+  }
+
+let dff_name = "DFFPOSX1"
+
+let models =
+  [
+    comb "INVX1" (inv_network "INVX1" 1) ~arity:1 ~f:(fun a -> not a.(0)) ~strength:1.0;
+    comb "INVX2" (inv_network "INVX2" 2) ~arity:1 ~f:(fun a -> not a.(0)) ~strength:2.0;
+    comb "INVX4" (inv_network "INVX4" 4) ~arity:1 ~f:(fun a -> not a.(0)) ~strength:4.0;
+    comb "BUFX2" (buf_network "BUFX2") ~arity:1 ~f:(fun a -> a.(0)) ~strength:2.0;
+    comb "NAND2X1" (nand_network "NAND2X1" [ "A"; "B" ]) ~arity:2
+      ~f:(fun a -> not (a.(0) && a.(1))) ~strength:1.0;
+    comb "NAND3X1" (nand_network "NAND3X1" [ "A"; "B"; "C" ]) ~arity:3
+      ~f:(fun a -> not (a.(0) && a.(1) && a.(2))) ~strength:1.0;
+    comb "NAND4X1" (nand_network "NAND4X1" [ "A"; "B"; "C"; "D" ]) ~arity:4
+      ~f:(fun a -> not (a.(0) && a.(1) && a.(2) && a.(3))) ~strength:1.0;
+    comb "NOR2X1" (nor_network "NOR2X1" [ "A"; "B" ]) ~arity:2
+      ~f:(fun a -> not (a.(0) || a.(1))) ~strength:1.0;
+    comb "NOR3X1" (nor_network "NOR3X1" [ "A"; "B"; "C" ]) ~arity:3
+      ~f:(fun a -> not (a.(0) || a.(1) || a.(2))) ~strength:1.0;
+    comb "NOR4X1" (nor_network "NOR4X1" [ "A"; "B"; "C"; "D" ]) ~arity:4
+      ~f:(fun a -> not (a.(0) || a.(1) || a.(2) || a.(3))) ~strength:1.0;
+    comb "AND2X2" (staged_network "AND2X2" (`Nand [ "A"; "B" ])) ~arity:2
+      ~f:(fun a -> a.(0) && a.(1)) ~strength:2.0;
+    comb "OR2X2" (staged_network "OR2X2" (`Nor [ "A"; "B" ])) ~arity:2
+      ~f:(fun a -> a.(0) || a.(1)) ~strength:2.0;
+    comb "XOR2X1" (xor_like_network "XOR2X1" ~xnor:false) ~arity:2
+      ~f:(fun a -> a.(0) <> a.(1)) ~strength:1.0;
+    comb "XNOR2X1" (xor_like_network "XNOR2X1" ~xnor:true) ~arity:2
+      ~f:(fun a -> a.(0) = a.(1)) ~strength:1.0;
+    comb "AOI21X1" (aoi21_network "AOI21X1") ~arity:3
+      ~f:(fun a -> not ((a.(0) && a.(1)) || a.(2))) ~strength:1.0;
+    comb "AOI22X1" (aoi22_network "AOI22X1") ~arity:4
+      ~f:(fun a -> not ((a.(0) && a.(1)) || (a.(2) && a.(3)))) ~strength:1.0;
+    comb "OAI21X1" (oai21_network "OAI21X1") ~arity:3
+      ~f:(fun a -> not ((a.(0) || a.(1)) && a.(2))) ~strength:1.0;
+    comb "OAI22X1" (oai22_network "OAI22X1") ~arity:4
+      ~f:(fun a -> not ((a.(0) || a.(1)) && (a.(2) || a.(3)))) ~strength:1.0;
+    comb "AOI211X1" (aoi211_network "AOI211X1") ~arity:4
+      ~f:(fun a -> not ((a.(0) && a.(1)) || a.(2) || a.(3))) ~strength:1.0;
+    comb "MUX2X1" (mux2_network "MUX2X1") ~arity:3
+      ~f:(fun a -> if a.(2) then a.(1) else a.(0)) ~strength:1.0;
+    {
+      cell = mk_cell ~name:dff_name ~arity:1 ~f:(fun a -> a.(0)) ~strength:1.0
+               ~transistors:16 ~is_seq:true ();
+      network = None;
+      sites = dff_sites;
+    };
+  ]
+
+let by_name =
+  let tbl = Hashtbl.create 32 in
+  List.iter (fun m -> Hashtbl.add tbl m.cell.Dfm_netlist.Cell.name m) models;
+  tbl
+
+let model name =
+  match Hashtbl.find_opt by_name name with Some m -> m | None -> raise Not_found
+
+let library = Dfm_netlist.Library.make ~name:"osu018" (List.map (fun m -> m.cell) models)

@@ -1,0 +1,30 @@
+(** The 21-cell standard-cell library used throughout the reproduction.
+
+    Modeled after the OSU 0.18um TSMC kit the paper uses (21 cells): inverters
+    and buffers in several drive strengths, NAND/NOR stacks up to 4 inputs,
+    AND/OR, XOR/XNOR, AND-OR-INVERT and OR-AND-INVERT compounds, a
+    transmission-gate multiplexer and a positive-edge D flip-flop.
+
+    Every combinational cell carries a switch-level transistor network, and
+    every cell carries a list of internal DFM-violation {!Defect.site}s
+    derived from its structure (contacts, series-stack metal, channel
+    density).  Larger cells have more sites — the property the resynthesis
+    procedure exploits. *)
+
+type model = {
+  cell : Dfm_netlist.Cell.t;
+  network : Switch.circuit option;  (** [None] for the flip-flop *)
+  sites : Defect.site list;
+}
+
+val models : model list
+(** All 21 cells, in catalog order. *)
+
+val model : string -> model
+(** Look up by cell name.  @raise Not_found for unknown names. *)
+
+val library : Dfm_netlist.Library.t
+(** The library view (metadata only) of {!models}. *)
+
+val dff_name : string
+(** Name of the flip-flop cell (["DFFPOSX1"]). *)

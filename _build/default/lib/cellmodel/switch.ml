@@ -1,0 +1,164 @@
+type node = Vdd | Gnd | Pin of string | Out | Mid of int
+
+type mos = Nmos | Pmos
+
+type transistor = { t_id : int; mos : mos; g : node; a : node; b : node }
+
+type circuit = { c_name : string; devices : transistor list; n_mids : int }
+
+type v4 = V0 | V1 | VX | VZ
+
+let v4_to_string = function V0 -> "0" | V1 -> "1" | VX -> "X" | VZ -> "Z"
+
+type condition = {
+  stuck_off : int list;
+  shorted : (node * node) list;
+  open_pins : string list;
+}
+
+let healthy = { stuck_off = []; shorted = []; open_pins = [] }
+
+let pins c =
+  let tbl = Hashtbl.create 8 in
+  let note = function Pin p -> Hashtbl.replace tbl p () | Vdd | Gnd | Out | Mid _ -> () in
+  List.iter
+    (fun t ->
+      note t.g;
+      note t.a;
+      note t.b)
+    c.devices;
+  Hashtbl.fold (fun p () acc -> p :: acc) tbl [] |> List.sort compare
+
+let validate c =
+  let fail fmt = Printf.ksprintf (fun s -> failwith ("Switch.validate " ^ c.c_name ^ ": " ^ s)) fmt in
+  List.iteri
+    (fun i t ->
+      if t.t_id <> i then fail "device id %d out of order" t.t_id;
+      let chk = function
+        | Mid m -> if m < 0 || m >= c.n_mids then fail "bad mid node %d" m
+        | Vdd | Gnd | Pin _ | Out -> ()
+      in
+      chk t.g;
+      chk t.a;
+      chk t.b)
+    c.devices
+
+(* Dense node numbering for one evaluation: 0 = Vdd, 1 = Gnd, 2 = Out,
+   3..2+n_mids = mids, then pins in sorted order. *)
+type idx = {
+  n_nodes : int;
+  of_node : node -> int;
+  pin_names : string list;
+}
+
+let index c =
+  let pin_names = pins c in
+  let pin_tbl = Hashtbl.create 8 in
+  List.iteri (fun i p -> Hashtbl.add pin_tbl p (3 + c.n_mids + i)) pin_names;
+  let of_node = function
+    | Vdd -> 0
+    | Gnd -> 1
+    | Out -> 2
+    | Mid m -> 3 + m
+    | Pin p -> (
+        match Hashtbl.find_opt pin_tbl p with
+        | Some i -> i
+        | None -> failwith ("Switch: unknown pin " ^ p))
+  in
+  { n_nodes = 3 + c.n_mids + List.length pin_names; of_node; pin_names }
+
+type dev_state = On | Off | Maybe
+
+let eval_node c cond pin_values target =
+  let ix = index c in
+  let value = Array.make ix.n_nodes VX in
+  value.(0) <- V1;
+  value.(1) <- V0;
+  let pin_value p =
+    if List.mem p cond.open_pins then VZ
+    else
+      match List.assoc_opt p pin_values with
+      | Some true -> V1
+      | Some false -> V0
+      | None -> failwith ("Switch.eval " ^ c.c_name ^ ": pin " ^ p ^ " not driven")
+  in
+  List.iter (fun p -> value.(ix.of_node (Pin p)) <- pin_value p) ix.pin_names;
+  (* Sources: Vdd, Gnd and non-open pins. *)
+  let is_source = Array.make ix.n_nodes false in
+  is_source.(0) <- true;
+  is_source.(1) <- true;
+  List.iter
+    (fun p -> if not (List.mem p cond.open_pins) then is_source.(ix.of_node (Pin p)) <- true)
+    ix.pin_names;
+  let devices = List.filter (fun t -> not (List.mem t.t_id cond.stuck_off)) c.devices in
+  let short_edges = List.map (fun (x, y) -> (ix.of_node x, ix.of_node y)) cond.shorted in
+  let dev_state t =
+    let gv = value.(ix.of_node t.g) in
+    match t.mos, gv with
+    | Nmos, V1 | Pmos, V0 -> On
+    | Nmos, V0 | Pmos, V1 -> Off
+    | _, (VX | VZ) -> Maybe
+  in
+  (* Reachability from sources of a given polarity through a set of edges. *)
+  let reach ~include_maybe ~source_val =
+    let edges =
+      List.filter_map
+        (fun t ->
+          match dev_state t with
+          | On -> Some (ix.of_node t.a, ix.of_node t.b)
+          | Maybe when include_maybe -> Some (ix.of_node t.a, ix.of_node t.b)
+          | Maybe | Off -> None)
+        devices
+      @ short_edges
+    in
+    let adj = Array.make ix.n_nodes [] in
+    List.iter
+      (fun (x, y) ->
+        adj.(x) <- y :: adj.(x);
+        adj.(y) <- x :: adj.(y))
+      edges;
+    let seen = Array.make ix.n_nodes false in
+    let rec dfs n =
+      if not seen.(n) then begin
+        seen.(n) <- true;
+        (* Conduction does not pass *through* another strong source: a path
+           entering a driven node is terminated there (the source dominates). *)
+        if not is_source.(n) then List.iter dfs adj.(n)
+      end
+    in
+    for n = 0 to ix.n_nodes - 1 do
+      if is_source.(n) && value.(n) = source_val then begin
+        seen.(n) <- true;
+        List.iter dfs adj.(n)
+      end
+    done;
+    seen
+  in
+  let stable = ref false in
+  let iterations = ref 0 in
+  while (not !stable) && !iterations < ix.n_nodes + 5 do
+    incr iterations;
+    let d1 = reach ~include_maybe:false ~source_val:V1 in
+    let d0 = reach ~include_maybe:false ~source_val:V0 in
+    let p1 = reach ~include_maybe:true ~source_val:V1 in
+    let p0 = reach ~include_maybe:true ~source_val:V0 in
+    stable := true;
+    for n = 0 to ix.n_nodes - 1 do
+      if not is_source.(n) then begin
+        let v =
+          if d1.(n) && d0.(n) then VX
+          else if d1.(n) then if p0.(n) then VX else V1
+          else if d0.(n) then if p1.(n) then VX else V0
+          else if p1.(n) || p0.(n) then VX
+          else VZ
+        in
+        if value.(n) <> v then begin
+          value.(n) <- v;
+          stable := false
+        end
+      end
+    done
+  done;
+  if not !stable then VX else value.(ix.of_node target)
+
+let eval c cond pin_values = eval_node c cond pin_values Out

@@ -1,0 +1,1 @@
+lib/circuits/circuits.ml: Dfm_util List Motifs Sys

@@ -1,0 +1,1 @@
+lib/circuits/motifs.ml: Array Dfm_cellmodel Dfm_logic Dfm_netlist Dfm_synth Dfm_util Lazy List Printf

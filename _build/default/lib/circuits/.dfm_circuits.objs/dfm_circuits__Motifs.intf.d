@@ -1,0 +1,1 @@
+lib/circuits/motifs.mli: Dfm_netlist Dfm_util

@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Array Dfm_faults Dfm_netlist Dfm_util Hashtbl List

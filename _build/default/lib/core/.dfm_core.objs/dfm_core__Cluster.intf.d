@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Dfm_faults Dfm_netlist

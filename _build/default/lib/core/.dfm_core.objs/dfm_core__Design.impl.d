@@ -1,0 +1,1 @@
+lib/core/design.ml: Array Cluster Dfm_atpg Dfm_faults Dfm_guidelines Dfm_layout Dfm_netlist Dfm_timing Format List Option

@@ -1,0 +1,1 @@
+lib/core/design.mli: Cluster Dfm_atpg Dfm_guidelines Dfm_layout Dfm_netlist Dfm_timing Format

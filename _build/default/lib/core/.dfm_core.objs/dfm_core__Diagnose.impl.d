@@ -1,0 +1,1 @@
+lib/core/diagnose.ml: Array Dfm_faults Dfm_sim Hashtbl Int64 List

@@ -1,0 +1,1 @@
+lib/core/diagnose.mli: Dfm_faults Dfm_netlist

@@ -1,0 +1,1 @@
+lib/core/dppm.ml: Array Design Dfm_atpg Dfm_cellmodel Dfm_faults Dfm_guidelines List

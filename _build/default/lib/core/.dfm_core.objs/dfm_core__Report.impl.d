@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Design Dfm_atpg Dfm_cellmodel Dfm_faults Dfm_guidelines Dfm_layout Dfm_netlist Dfm_synth Float Format Hashtbl List Printf Resynth

@@ -1,0 +1,1 @@
+lib/core/report.mli: Design Dfm_guidelines Dfm_netlist Format Resynth

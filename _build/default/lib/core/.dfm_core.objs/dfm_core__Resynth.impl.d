@@ -1,0 +1,1 @@
+lib/core/resynth.ml: Array Cluster Design Dfm_atpg Dfm_cellmodel Dfm_faults Dfm_guidelines Dfm_layout Dfm_netlist Dfm_synth Dfm_timing Float Hashtbl Int List Option Printf Set Unix

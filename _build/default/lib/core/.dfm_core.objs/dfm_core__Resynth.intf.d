@@ -1,0 +1,1 @@
+lib/core/resynth.mli: Design Dfm_netlist

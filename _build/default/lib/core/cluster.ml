@@ -1,0 +1,76 @@
+module N = Dfm_netlist.Netlist
+module F = Dfm_faults.Fault
+module UF = Dfm_util.Union_find
+
+type t = {
+  clusters : int list list;
+  smax : int list;
+  gmax : int list;
+  gu : int list;
+  n_undetectable : int;
+}
+
+let compute nl faults ~undetectable =
+  let nf = Array.length faults in
+  let undet = Array.init nf (fun fid -> undetectable fid) in
+  (* Faults touching each gate. *)
+  let by_gate = Hashtbl.create 256 in
+  let gates_of = Array.make nf [] in
+  Array.iteri
+    (fun fid f ->
+      if undet.(fid) then begin
+        let gs = F.corresponding_gates nl f in
+        gates_of.(fid) <- gs;
+        List.iter
+          (fun g ->
+            Hashtbl.replace by_gate g (fid :: (try Hashtbl.find by_gate g with Not_found -> [])))
+          gs
+      end)
+    faults;
+  let uf = UF.create nf in
+  (* Faults sharing a gate are adjacent. *)
+  Hashtbl.iter
+    (fun _g fids ->
+      match fids with
+      | [] -> ()
+      | first :: rest -> List.iter (fun fid -> UF.union uf first fid) rest)
+    by_gate;
+  (* Faults on structurally adjacent gates are adjacent. *)
+  Hashtbl.iter
+    (fun g fids ->
+      match fids with
+      | [] -> ()
+      | first :: _ ->
+          List.iter
+            (fun h ->
+              match Hashtbl.find_opt by_gate h with
+              | Some (hf :: _) when h > g -> UF.union uf first hf
+              | Some _ | None -> ())
+            (N.adjacent_gates nl g))
+    by_gate;
+  (* Collect clusters over undetectable faults only. *)
+  let members = Hashtbl.create 64 in
+  let n_undetectable = ref 0 in
+  Array.iteri
+    (fun fid _ ->
+      if undet.(fid) then begin
+        incr n_undetectable;
+        let r = UF.find uf fid in
+        Hashtbl.replace members r (fid :: (try Hashtbl.find members r with Not_found -> []))
+      end)
+    faults;
+  let clusters =
+    Hashtbl.fold (fun _ fids acc -> List.rev fids :: acc) members []
+    |> List.sort (fun a b -> compare (List.length b, a) (List.length a, b))
+  in
+  let smax = match clusters with [] -> [] | c :: _ -> c in
+  let gmax =
+    List.concat_map (fun fid -> gates_of.(fid)) smax |> List.sort_uniq compare
+  in
+  let gu =
+    Hashtbl.fold (fun g _ acc -> g :: acc) by_gate [] |> List.sort_uniq compare
+  in
+  { clusters; smax; gmax; gu; n_undetectable = !n_undetectable }
+
+let smax_internal faults t =
+  List.length (List.filter (fun fid -> F.is_internal faults.(fid)) t.smax)

@@ -1,0 +1,27 @@
+(** Clustering of undetectable faults (Section II of the paper).
+
+    A gate *corresponds to* a fault when the fault is inside it (internal
+    faults) or on its input/output nets (external faults).  Two gates are
+    *structurally adjacent* when one drives the other; two faults are
+    adjacent when they share a corresponding gate or lie on adjacent gates.
+    The undetectable faults are partitioned into maximal subsets of
+    transitively adjacent faults; [S_max] is the largest subset and [G_max]
+    the gates corresponding to its faults. *)
+
+type t = {
+  clusters : int list list;   (** fault-id subsets, largest first *)
+  smax : int list;            (** fault ids of the largest subset (S_max) *)
+  gmax : int list;            (** gates corresponding to S_max (G_max) *)
+  gu : int list;              (** gates corresponding to all undetectable faults (G_U) *)
+  n_undetectable : int;
+}
+
+val compute :
+  Dfm_netlist.Netlist.t ->
+  Dfm_faults.Fault.t array ->
+  undetectable:(int -> bool) ->
+  t
+(** [undetectable fid] says whether fault id [fid] is undetectable. *)
+
+val smax_internal : Dfm_faults.Fault.t array -> t -> int
+(** Number of internal faults within S_max (the paper's [Smax_I]). *)

@@ -1,0 +1,55 @@
+(** One fully implemented design point: netlist → placement → routing →
+    timing/power → DFM fault list → ATPG classification → clustering.
+
+    This is the unit of work the resynthesis procedure iterates on; building
+    one is the "one iteration of logic synthesis and physical design with
+    test generation" that the paper's [Rtime] column normalizes by. *)
+
+type t = {
+  netlist : Dfm_netlist.Netlist.t;
+  floorplan : Dfm_layout.Floorplan.t;
+  placement : Dfm_layout.Place.t;
+  routing : Dfm_layout.Route.t;
+  timing : Dfm_timing.Sta.report;
+  power : Dfm_timing.Power.report;
+  fault_list : Dfm_guidelines.Translate.t;
+  classification : Dfm_atpg.Atpg.classification;
+  cluster : Cluster.t;
+}
+
+type metrics = {
+  f : int;                (** |F| *)
+  u : int;                (** undetectable faults *)
+  u_internal : int;
+  u_external : int;
+  coverage : float;       (** 1 - U/F, percent *)
+  g_u : int;              (** gates corresponding to undetectable faults *)
+  g_max : int;            (** gates in G_max *)
+  s_max : int;            (** faults in S_max *)
+  s_max_internal : int;
+  pct_smax_of_u : float;
+  pct_smax_of_f : float;
+  pct_smax_internal : float;  (** share of S_max that is internal *)
+  delay : float;          (** critical path, ns *)
+  power : float;          (** mW *)
+  area : float;           (** total cell area, um^2 *)
+}
+
+val implement :
+  ?seed:int ->
+  ?floorplan:Dfm_layout.Floorplan.t ->
+  ?utilization:float ->
+  ?previous:t ->
+  Dfm_netlist.Netlist.t ->
+  t
+(** Run the whole pipeline.  When [floorplan] is given the design must fit
+    it (raises {!Dfm_layout.Place.Does_not_fit} otherwise) — that is how the
+    fixed-die constraint of the paper is enforced.  [previous] enables
+    incremental (ECO) placement relative to an earlier design point. *)
+
+val metrics : t -> metrics
+
+val undetectable : t -> int -> bool
+(** Status lookup for a fault id. *)
+
+val pp_metrics : Format.formatter -> metrics -> unit

@@ -1,0 +1,94 @@
+module F = Dfm_faults.Fault
+module Ls = Dfm_sim.Logic_sim
+module Fs = Dfm_sim.Fault_sim
+
+type response = {
+  test_index : int;
+  failing : int list;
+}
+
+type candidate = {
+  fault : F.t;
+  score : float;
+  exact_matches : int;
+}
+
+(* Pack the test list into 64-pattern blocks and hand each block's syndromes
+   to [consume block_index good syndromes_per_fault]. *)
+let over_blocks nl ~tests ~faults consume =
+  let ls = Ls.prepare nl in
+  let fs = Fs.prepare nl in
+  let tests = Array.of_list tests in
+  let n = Array.length tests in
+  let n_inputs = List.length (Ls.inputs ls) in
+  let block = ref 0 in
+  while !block * 64 < n do
+    let base = !block * 64 in
+    let count = min 64 (n - base) in
+    let words = Array.make n_inputs 0L in
+    for b = 0 to count - 1 do
+      let pattern = tests.(base + b) in
+      Array.iteri
+        (fun i w ->
+          if pattern.(i) then words.(i) <- Int64.logor w (Int64.shift_left 1L b))
+        words
+    done;
+    let good = Ls.run ls words in
+    let syndromes = Array.map (fun f -> Fs.syndrome fs ~good f) faults in
+    consume ~base ~count syndromes;
+    incr block
+  done
+
+let bit b w = Int64.logand (Int64.shift_right_logical w b) 1L = 1L
+
+let simulate_defect nl ~tests fault =
+  let responses = ref [] in
+  over_blocks nl ~tests ~faults:[| fault |] (fun ~base ~count syndromes ->
+      for b = 0 to count - 1 do
+        let failing =
+          List.filter_map
+            (fun (net, w) -> if bit b w then Some net else None)
+            syndromes.(0)
+        in
+        if failing <> [] then responses := { test_index = base + b; failing } :: !responses
+      done);
+  List.rev !responses
+
+let diagnose nl ~tests ~observed ~candidates ?(top = 10) () =
+  let observed_by_test = Hashtbl.create 64 in
+  List.iter
+    (fun r -> Hashtbl.replace observed_by_test r.test_index (List.sort_uniq compare r.failing))
+    observed;
+  let score = Array.make (Array.length candidates) 0.0 in
+  let exact = Array.make (Array.length candidates) 0 in
+  over_blocks nl ~tests ~faults:candidates (fun ~base ~count syndromes ->
+      for b = 0 to count - 1 do
+        let obs = Hashtbl.find_opt observed_by_test (base + b) in
+        Array.iteri
+          (fun ci syn ->
+            let predicted =
+              List.filter_map (fun (net, w) -> if bit b w then Some net else None) syn
+            in
+            match (obs, predicted) with
+            | None, [] -> ()  (* both pass: neutral *)
+            | None, _ :: _ ->
+                (* predicted fail, observed pass: penalize *)
+                score.(ci) <- score.(ci) -. 0.5
+            | Some failing, predicted ->
+                let inter =
+                  List.length (List.filter (fun x -> List.mem x predicted) failing)
+                in
+                let union =
+                  List.length (List.sort_uniq compare (failing @ predicted))
+                in
+                if union > 0 then score.(ci) <- score.(ci) +. (float_of_int inter /. float_of_int union);
+                if List.sort_uniq compare predicted = failing then
+                  exact.(ci) <- exact.(ci) + 1)
+          syndromes
+      done);
+  let ranked =
+    Array.to_list (Array.mapi (fun ci f -> { fault = f; score = score.(ci); exact_matches = exact.(ci) }) candidates)
+    |> List.filter (fun c -> c.score > 0.0)
+    |> List.sort (fun a b -> compare (b.score, b.exact_matches) (a.score, a.exact_matches))
+  in
+  List.filteri (fun i _ -> i < top) ranked

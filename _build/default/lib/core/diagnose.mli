@@ -1,0 +1,39 @@
+(** Fault diagnosis from tester fail data.
+
+    The companion use-case of the paper's fault model (its reference [8] is
+    "Defect diagnosis based on DFM guidelines"): when a die fails on the
+    tester, match the observed per-test failing outputs against the
+    predicted syndrome of every DFM fault candidate and rank them.  The
+    ranking uses the standard per-test Jaccard match between observed and
+    predicted failing-output sets, so a perfectly matching candidate scores
+    1.0 per failing test. *)
+
+type response = {
+  test_index : int;
+  failing : int list;  (** observable net ids that mismatched *)
+}
+
+type candidate = {
+  fault : Dfm_faults.Fault.t;
+  score : float;        (** sum over failing tests of the Jaccard match *)
+  exact_matches : int;  (** tests where predicted = observed exactly *)
+}
+
+val simulate_defect :
+  Dfm_netlist.Netlist.t ->
+  tests:bool array list ->
+  Dfm_faults.Fault.t ->
+  response list
+(** Fabricate the tester responses a die with the given defect would
+    produce (only failing tests are listed). *)
+
+val diagnose :
+  Dfm_netlist.Netlist.t ->
+  tests:bool array list ->
+  observed:response list ->
+  candidates:Dfm_faults.Fault.t array ->
+  ?top:int ->
+  unit ->
+  candidate list
+(** Ranked candidates, best first ([top] defaults to 10).  Candidates whose
+    prediction shares nothing with the observation are dropped. *)

@@ -1,0 +1,39 @@
+module F = Dfm_faults.Fault
+module Defect = Dfm_cellmodel.Defect
+module Atpg = Dfm_atpg.Atpg
+
+type rates = {
+  via_ppm : float;
+  metal_ppm : float;
+  density_ppm : float;
+}
+
+let default_rates = { via_ppm = 12.0; metal_ppm = 6.0; density_ppm = 3.0 }
+
+let rate_of rates = function
+  | Defect.Via -> rates.via_ppm
+  | Defect.Metal -> rates.metal_ppm
+  | Defect.Density -> rates.density_ppm
+
+let undetectable_sites (d : Design.t) =
+  let faults = d.Design.fault_list.Dfm_guidelines.Translate.faults in
+  Array.to_list faults
+  |> List.filter (fun (f : F.t) ->
+         d.Design.classification.Atpg.status.(f.F.fault_id) = Atpg.Undetectable)
+
+let escapes_dppm ?(rates = default_rates) d =
+  let survive =
+    List.fold_left
+      (fun acc (f : F.t) -> acc *. (1.0 -. (rate_of rates f.F.origin.F.category /. 1.0e6)))
+      1.0 (undetectable_sites d)
+  in
+  1.0e6 *. (1.0 -. survive)
+
+let breakdown ?(rates = default_rates) d =
+  let sites = undetectable_sites d in
+  List.map
+    (fun cat ->
+      let mine = List.filter (fun (f : F.t) -> f.F.origin.F.category = cat) sites in
+      let n = List.length mine in
+      (Defect.category_to_string cat, n, float_of_int n *. rate_of rates cat))
+    [ Defect.Via; Defect.Metal; Defect.Density ]

@@ -1,0 +1,31 @@
+(** DPPM impact of the undetectable DFM faults.
+
+    The paper's motivation: a defect at an uncovered site escapes test, and
+    because DFM-predicted defects are *systematic*, escapes scale with the
+    number of uncovered sites and hit every die.  This model turns the
+    undetectable-fault list into an expected defective-parts-per-million
+    figure: each undetectable fault is an uncovered potential-defect site
+    whose occurrence probability depends on its guideline category (vias
+    fail more often than wide-metal spots, etc.), and the per-die escape
+    probability composes independently across sites.
+
+    Absolute values follow the chosen rates; the meaningful quantity is the
+    original-vs-resynthesized *ratio*, reported by the bench next to
+    Table II. *)
+
+type rates = {
+  via_ppm : float;      (** occurrence probability per via-guideline site, ppm *)
+  metal_ppm : float;
+  density_ppm : float;
+}
+
+val default_rates : rates
+(** Via 12 ppm, Metal 6 ppm, Density 3 ppm per uncovered site — ballpark
+    systematic-defect excess rates for a risky 0.18um feature. *)
+
+val escapes_dppm : ?rates:rates -> Design.t -> float
+(** Expected test escapes in DPPM: [1e6 * (1 - prod(1 - p_i))] over the
+    undetectable faults of the design. *)
+
+val breakdown : ?rates:rates -> Design.t -> (string * int * float) list
+(** Per guideline-category: (category, uncovered sites, dppm share). *)

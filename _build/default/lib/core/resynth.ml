@@ -1,0 +1,377 @@
+module N = Dfm_netlist.Netlist
+module Cell = Dfm_netlist.Cell
+module Library = Dfm_netlist.Library
+module F = Dfm_faults.Fault
+module Atpg = Dfm_atpg.Atpg
+module Udfm = Dfm_cellmodel.Udfm
+module IntSet = Set.Make (Int)
+
+type event = {
+  ev_q : int;
+  ev_phase : int;
+  ev_cell : string option;
+  ev_action : string;
+  ev_u : int;
+  ev_u_internal : int;
+  ev_smax : int;
+  ev_delay : float;
+  ev_power : float;
+}
+
+type result = {
+  initial : Design.t;
+  final : Design.t;
+  trace : event list;
+  accepted : int;
+  implement_calls : int;
+  elapsed_s : float;
+  baseline_s : float;
+}
+
+let cells_by_internal_faults lib =
+  Library.combinational lib
+  |> List.sort (fun (a : Cell.t) (b : Cell.t) ->
+         let ca = Udfm.internal_fault_count a.Cell.name
+         and cb = Udfm.internal_fault_count b.Cell.name in
+         if ca <> cb then compare cb ca else compare a.Cell.name b.Cell.name)
+
+type state = {
+  mutable current : Design.t;
+  mutable trace : event list;  (* reversed *)
+  mutable accepted : int;
+  mutable implements : int;
+  floorplan : Dfm_layout.Floorplan.t;
+  orig_delay : float;
+  orig_power : float;
+  seed : int;
+  sweep : bool;
+  context_levels : int;
+  log : string -> unit;
+}
+
+let u_total (d : Design.t) = d.Design.classification.Atpg.counts.Atpg.undetectable
+
+let u_internal (d : Design.t) = d.Design.classification.Atpg.counts.Atpg.undetectable_internal
+
+let smax (d : Design.t) = List.length d.Design.cluster.Cluster.smax
+
+let pct_smax_f (d : Design.t) =
+  let f = d.Design.classification.Atpg.counts.Atpg.total in
+  if f = 0 then 0.0 else 100.0 *. float_of_int (smax d) /. float_of_int f
+
+let record st ~q ~phase ~cell ~action (d : Design.t) =
+  st.trace <-
+    {
+      ev_q = q;
+      ev_phase = phase;
+      ev_cell = cell;
+      ev_action = action;
+      ev_u = u_total d;
+      ev_u_internal = u_internal d;
+      ev_smax = smax d;
+      ev_delay = d.Design.timing.Dfm_timing.Sta.critical_path_delay;
+      ev_power = d.Design.power.Dfm_timing.Power.total;
+    }
+    :: st.trace
+
+(* Undetectable internal fault count of a bare netlist (no layout): internal
+   faults do not depend on placement/routing, so this gates PDesign() as in
+   Section III-B. *)
+let internal_u_of_netlist st nl =
+  let faults = Dfm_guidelines.Translate.internal_only nl in
+  let cls = Atpg.classify ~seed:st.seed nl faults in
+  cls.Atpg.counts.Atpg.undetectable
+
+let implement_opt st nl =
+  st.implements <- st.implements + 1;
+  try Some (Design.implement ~seed:st.seed ~floorplan:st.floorplan ~previous:st.current nl)
+  with Dfm_layout.Place.Does_not_fit _ -> None
+
+let constraints_ok st ~q (d : Design.t) =
+  let limit base = base *. (1.0 +. (float_of_int q /. 100.0)) +. 1e-9 in
+  d.Design.timing.Dfm_timing.Sta.critical_path_delay <= limit st.orig_delay
+  && d.Design.power.Dfm_timing.Power.total <= limit st.orig_power
+
+let accepts ~phase ~p2 st (d : Design.t) =
+  let cur = st.current in
+  match phase with
+  | 1 -> smax d < smax cur && u_total d <= u_total cur
+  | _ -> u_total d < u_total cur && pct_smax_f d <= p2 +. 1e-9
+
+(* Combinational gates hosting at least one undetectable internal fault,
+   optionally restricted to a gate set: this is C_sub − G_zero. *)
+let gates_with_undetectable_internal (d : Design.t) ~within =
+  let nl = d.Design.netlist in
+  let faults = d.Design.fault_list.Dfm_guidelines.Translate.faults in
+  let winset = Option.map (fun l -> IntSet.of_list l) within in
+  let keep = Hashtbl.create 64 in
+  Array.iteri
+    (fun fid f ->
+      if d.Design.classification.Atpg.status.(fid) = Atpg.Undetectable then
+        match f.F.kind with
+        | F.Internal (g, _) when not (N.gate nl g).N.cell.Cell.is_seq ->
+            let inside = match winset with None -> true | Some s -> IntSet.mem g s in
+            if inside then Hashtbl.replace keep g ()
+        | F.Internal _ | F.Stuck _ | F.Transition _ | F.Bridge _ -> ())
+    faults;
+  Hashtbl.fold (fun g () acc -> g :: acc) keep [] |> List.sort compare
+
+(* Grow a region with [levels] levels of combinational fanin context.
+   DESIGN.md §5 documents this deviation: the paper's C_sub = G_max spans
+   hundreds-to-thousands of gates and naturally contains the logic that
+   *causes* the local redundancy; at our scaled-down cluster sizes the same
+   context must be added explicitly or Synthesize() sees the correlated
+   control signals as opaque inputs and cannot remove anything. *)
+let grow_region nl region ~levels =
+  let set = ref (IntSet.of_list region) in
+  for _ = 1 to levels do
+    IntSet.iter
+      (fun g ->
+        List.iter
+          (fun d -> if not (N.gate nl d).N.cell.Cell.is_seq then set := IntSet.add d !set)
+          (N.fanin_gates nl g))
+      !set
+  done;
+  IntSet.elements !set
+
+let remap_opt st nl ~region ~library =
+  try
+    Some (Dfm_synth.Convert.remap_region ~goal:`Area ~sweep:st.sweep nl ~gates:region ~library)
+  with Dfm_synth.Mapper.Unmappable _ -> None
+
+(* One evaluated candidate: remap, cheap internal check, full implement.
+   [threshold] is the internal-undetectable count to beat before physical
+   design is worth running. *)
+type candidate_outcome =
+  | Worse            (* internal undetectables did not decrease: no PDesign *)
+  | No_fit           (* floorplan (die area) violated *)
+  | Implemented of int * Design.t  (* the candidate's internal count *)
+
+let evaluate st ~threshold ~region ~library =
+  match remap_opt st st.current.Design.netlist ~region ~library with
+  | None -> None
+  | Some nl ->
+      let u_in' = internal_u_of_netlist st nl in
+      if u_in' >= threshold then Some Worse
+      else begin
+        match implement_opt st nl with
+        | None -> Some No_fit
+        | Some d -> Some (Implemented (u_in', d))
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Backtracking procedure (Section III-C)                               *)
+(* ------------------------------------------------------------------ *)
+
+let backtrack st ~q ~phase ~p2 ~region ~library ~prefix_names ~cell_name =
+  let nl = st.current.Design.netlist in
+  let g_i =
+    List.filter (fun g -> List.mem (N.gate nl g).N.cell.Cell.name prefix_names) region
+  in
+  let n = List.length g_i in
+  if n = 0 then None
+  else begin
+    let step = max 1 (int_of_float (Float.round (sqrt (float_of_int n)))) in
+    let g_i = Array.of_list g_i in
+    (* [frozen] gates move from G_i into G_back (kept unchanged). *)
+    let result = ref None in
+    let frozen = ref 0 in
+    let try_with_back nback =
+      let back = Array.to_list (Array.sub g_i 0 nback) in
+      let region' = List.filter (fun g -> not (List.mem g back)) region in
+      if region' = [] then None
+      else
+        Option.map (fun o -> (o, region'))
+          (evaluate st ~threshold:(u_internal st.current) ~region:region' ~library)
+    in
+    (try
+       while !frozen < n && !result = None do
+         let nback = min n (!frozen + step) in
+         frozen := nback;
+         match try_with_back nback with
+         | None | Some (Worse, _) ->
+             (* Freezing ever more gates cannot lower the internal count
+                again; stop. *)
+             raise Exit
+         | Some (No_fit, _) -> ()  (* still too large: freeze more *)
+         | Some (Implemented (_, d), _) ->
+             let ok_c = constraints_ok st ~q d and ok_a = accepts ~phase ~p2 st d in
+             if ok_c && ok_a then begin
+               record st ~q ~phase ~cell:(Some cell_name) ~action:"backtrack-accept" d;
+               result := Some d
+             end
+             else if ok_c (* constraints met but too few faults removed:
+                             return the last group one gate at a time *) then begin
+               let lo = nback - step in
+               let k = ref (nback - 1) in
+               while !k > lo && !result = None do
+                 (match try_with_back !k with
+                 | Some (Implemented (_, d2), _) ->
+                     let ok_c2 = constraints_ok st ~q d2 and ok_a2 = accepts ~phase ~p2 st d2 in
+                     if ok_c2 && ok_a2 then begin
+                       record st ~q ~phase ~cell:(Some cell_name) ~action:"backtrack-accept" d2;
+                       result := Some d2
+                     end
+                     else if not ok_c2 then raise Exit
+                 | Some (Worse, _) | Some (No_fit, _) | None -> ());
+                 decr k
+               done;
+               raise Exit
+             end
+             (* constraints violated: freeze more gates *)
+       done
+     with Exit -> ());
+    !result
+  end
+
+(* ------------------------------------------------------------------ *)
+(* One improvement attempt: the cell loop of Section III-B              *)
+(* ------------------------------------------------------------------ *)
+
+let try_cells st ~q ~phase ~p2 ~region =
+  let nl = st.current.Design.netlist in
+  let lib = nl.N.library in
+  let ordered = cells_by_internal_faults lib in
+  (* Only candidates that set a new best internal-undetectable count get the
+     expensive physical design + full ATPG; later prefixes that are merely
+     "not worse" are skipped.  This mirrors the paper's rule of calling
+     PDesign() only on an internal improvement, applied per scan. *)
+  let best_u_in = ref (u_internal st.current) in
+  let used_in_region =
+    List.fold_left
+      (fun acc g -> (N.gate nl g).N.cell.Cell.name :: acc)
+      [] region
+    |> List.sort_uniq compare
+  in
+  let result = ref None in
+  let rising = ref 0 in
+  let prefix = ref [] in
+  (try
+     List.iter
+       (fun (cell : Cell.t) ->
+         prefix := cell.Cell.name :: !prefix;
+         (* Eligibility (1)+(2): a gate of this type, with undetectable
+            internal faults, is in C_sub − G_zero (the region contains only
+            such gates). *)
+         if List.mem cell.Cell.name used_in_region then begin
+           let allowed = Library.restrict lib ~excluded:!prefix in
+           match evaluate st ~threshold:!best_u_in ~region ~library:allowed with
+           | None -> ()  (* eligibility (3) fails: cells not sufficient *)
+           | Some Worse -> ()
+           | Some No_fit -> (
+               match
+                 backtrack st ~q ~phase ~p2 ~region ~library:allowed
+                   ~prefix_names:!prefix ~cell_name:cell.Cell.name
+               with
+               | Some d ->
+                   result := Some d;
+                   raise Exit
+               | None -> ())
+           | Some (Implemented (u_in', d)) ->
+               best_u_in := min !best_u_in u_in';
+               let ok_a = accepts ~phase ~p2 st d in
+               let ok_c = constraints_ok st ~q d in
+               if ok_a && ok_c then begin
+                 record st ~q ~phase ~cell:(Some cell.Cell.name) ~action:"accept" d;
+                 result := Some d;
+                 raise Exit
+               end
+               else if ok_a (* acceptance met, constraints violated *) then begin
+                 match
+                   backtrack st ~q ~phase ~p2 ~region ~library:allowed
+                     ~prefix_names:!prefix ~cell_name:cell.Cell.name
+                 with
+                 | Some d' ->
+                     result := Some d';
+                     raise Exit
+                 | None -> ()
+               end
+               else begin
+                 record st ~q ~phase ~cell:(Some cell.Cell.name) ~action:"reject" d;
+                 (* Section III-B early exit: as ever more cells are
+                    excluded the undetectable count eventually trends up;
+                    stop the scan when it does so twice in a row. *)
+                 if u_total d > u_total st.current then begin
+                   incr rising;
+                   if !rising >= 2 then raise Exit
+                 end
+                 else rising := 0
+               end
+         end)
+       ordered
+   with Exit -> ());
+  !result
+
+(* ------------------------------------------------------------------ *)
+(* Phases and the q sweep                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_phase st ~q ~phase ~p1 ~p2 =
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    let d = st.current in
+    let stop =
+      match phase with
+      | 1 -> smax d = 0 || pct_smax_f d <= p1 +. 1e-9
+      | _ -> u_total d = 0
+    in
+    if not stop then begin
+      let within = match phase with 1 -> Some d.Design.cluster.Cluster.gmax | _ -> None in
+      let core_region = gates_with_undetectable_internal d ~within in
+      let region = grow_region d.Design.netlist core_region ~levels:st.context_levels in
+      if core_region <> [] then begin
+        match try_cells st ~q ~phase ~p2 ~region with
+        | Some d' ->
+            st.current <- d';
+            st.accepted <- st.accepted + 1;
+            st.log
+              (Printf.sprintf "q=%d phase %d: accepted, U=%d (internal %d), Smax=%d" q phase
+                 (u_total d') (u_internal d') (smax d'));
+            continue_ := true
+        | None -> ()
+      end
+    end
+  done
+
+let run ?(p1_percent = 1.0) ?(q_max = 5) ?(seed = 3) ?(sweep = true) ?(context_levels = 2)
+    ?(log = fun _ -> ()) initial =
+  let t0 = Unix.gettimeofday () in
+  (* Baseline: one synthesis + physical design + *test generation* iteration
+     (the unit of the paper's Rtime column — their baseline includes
+     generating the DFM test set, so ours runs Atpg.generate too). *)
+  let tb0 = Unix.gettimeofday () in
+  let bdesign = Design.implement ~seed ~floorplan:initial.Design.floorplan initial.Design.netlist in
+  ignore
+    (Atpg.generate ~seed bdesign.Design.netlist
+       bdesign.Design.fault_list.Dfm_guidelines.Translate.faults);
+  let baseline_s = Unix.gettimeofday () -. tb0 in
+  let st =
+    {
+      current = initial;
+      trace = [];
+      accepted = 0;
+      implements = 0;
+      floorplan = initial.Design.floorplan;
+      orig_delay = initial.Design.timing.Dfm_timing.Sta.critical_path_delay;
+      orig_power = initial.Design.power.Dfm_timing.Power.total;
+      seed;
+      sweep;
+      context_levels;
+      log;
+    }
+  in
+  for q = 0 to q_max do
+    run_phase st ~q ~phase:1 ~p1:p1_percent ~p2:0.0;
+    let p2 = Float.max p1_percent (pct_smax_f st.current) in
+    run_phase st ~q ~phase:2 ~p1:p1_percent ~p2
+  done;
+  {
+    initial;
+    final = st.current;
+    trace = List.rev st.trace;
+    accepted = st.accepted;
+    implement_calls = st.implements;
+    elapsed_s = Unix.gettimeofday () -. t0;
+    baseline_s;
+  }

@@ -1,0 +1,66 @@
+(** The paper's contribution: the iterative two-phase resynthesis procedure
+    (Section III) that eliminates clusters of undetectable DFM faults while
+    maintaining the design constraints of die area (frozen floorplan),
+    critical-path delay and power (at most [q]% above the original design).
+
+    Phase 1 repeatedly targets the current largest cluster [S_max]: the
+    subcircuit [C_sub = G_max − G_zero] is re-mapped with library cells taken
+    in decreasing order of internal fault count, excluding the prefix
+    [cell_0..cell_i]; physical design runs only when the number of
+    undetectable *internal* faults already decreased; a resynthesized design
+    is accepted when [S_max] shrank and the total number of undetectable
+    faults did not grow.  Phase 1 ends when [S_max] drops below [p1] percent
+    of |F| (default 1%) or no further improvement exists.
+
+    Phase 2 targets all gates with undetectable internal faults, accepting
+    designs that reduce total [U] while keeping [S_max] below
+    [p2 = max(p1, %S_max after phase 1)].
+
+    When a candidate violates the design constraints, the backtracking
+    procedure of Section III-C shrinks the set of replaced gates in groups of
+    [√n], then returns the last group one gate at a time, accepting the first
+    design that satisfies both the constraints and the acceptance criteria.
+
+    The driver sweeps [q] from 0 up to [q_max] (default 5), each round
+    applied on top of the previous solution, and keeps the best accepted
+    design. *)
+
+type event = {
+  ev_q : int;
+  ev_phase : int;                 (** 1 or 2 *)
+  ev_cell : string option;        (** the excluded-prefix boundary cell *)
+  ev_action : string;             (** accept / reject-... / backtrack-accept *)
+  ev_u : int;
+  ev_u_internal : int;
+  ev_smax : int;
+  ev_delay : float;
+  ev_power : float;
+}
+
+type result = {
+  initial : Design.t;
+  final : Design.t;
+  trace : event list;      (** in chronological order *)
+  accepted : int;          (** accepted resynthesis steps *)
+  implement_calls : int;   (** full synthesis+PD+ATPG iterations performed *)
+  elapsed_s : float;
+  baseline_s : float;      (** duration of one implement call (Rtime unit) *)
+}
+
+val cells_by_internal_faults : Dfm_netlist.Library.t -> Dfm_netlist.Cell.t list
+(** Combinational cells in decreasing order of internal fault count — the
+    order in which the procedure considers exclusions. *)
+
+val run :
+  ?p1_percent:float ->
+  ?q_max:int ->
+  ?seed:int ->
+  ?sweep:bool ->
+  ?context_levels:int ->
+  ?log:(string -> unit) ->
+  Design.t ->
+  result
+(** [sweep] (default true) lets Synthesize() SAT-sweep the extracted
+    subcircuit; [context_levels] (default 2) is how many levels of fanin
+    context are added to C_sub − G_zero (see DESIGN.md §5).  Both exist so
+    the design-choice ablations in the bench can quantify their effect. *)

@@ -1,0 +1,1 @@
+lib/dfm/guideline.ml: Array Dfm_cellmodel Dfm_layout List Printf

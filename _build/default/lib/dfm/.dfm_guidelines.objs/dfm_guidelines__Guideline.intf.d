@@ -1,0 +1,1 @@
+lib/dfm/guideline.mli: Dfm_cellmodel Dfm_layout

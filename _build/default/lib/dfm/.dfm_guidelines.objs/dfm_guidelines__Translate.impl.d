@@ -1,0 +1,1 @@
+lib/dfm/translate.ml: Array Dfm_cellmodel Dfm_faults Dfm_layout Dfm_netlist Guideline Hashtbl List

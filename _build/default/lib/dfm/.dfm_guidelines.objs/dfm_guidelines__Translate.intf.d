@@ -1,0 +1,1 @@
+lib/dfm/translate.mli: Dfm_faults Dfm_layout Dfm_netlist Guideline

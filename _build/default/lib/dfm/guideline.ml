@@ -1,0 +1,136 @@
+module Defect = Dfm_cellmodel.Defect
+module Geom = Dfm_layout.Geom
+
+type t = {
+  id : string;
+  category : Defect.category;
+  index : int;
+  description : string;
+}
+
+let n_via = 19
+let n_metal = 29
+let n_density = 11
+
+let via_descriptions =
+  [|
+    "single via on short M1 stub";
+    "single via on medium M1 net";
+    "single via on long M1 net";
+    "single via on very long M1 net";
+    "single via, low-fanout M1 branch";
+    "single via, high-fanout M1 trunk";
+    "single via at M1 pin contact of a multi-sink net";
+    "single via on short M2 run";
+    "single via on medium M2 run";
+    "single via on long M2 run";
+    "single via on very long M2 run";
+    "single via, low-fanout M2 branch";
+    "single via, high-fanout M2 trunk";
+    "single stacked via at route bend";
+    "single via adjacent to wide trunk";
+    "single via on clock-like high-activity net";
+    "isolated via without landing-pad enclosure margin";
+    "via at minimum enclosure on dense net";
+    "single via on boundary-crossing net";
+  |]
+
+let metal_descriptions =
+  [|
+    "sub-recommended width, short M2 wire";
+    "sub-recommended width, medium M2 wire";
+    "sub-recommended width, long M2 wire";
+    "sub-recommended width, very long M2 wire";
+    "sub-recommended width, short M3 wire";
+    "sub-recommended width, medium M3 wire";
+    "sub-recommended width, long M3 wire";
+    "sub-recommended width, very long M3 wire";
+    "minimum-width wire exceeding recommended span";
+    "narrow jog between wide trunks";
+    "tight parallel spacing, short M2 run";
+    "tight parallel spacing, medium M2 run";
+    "tight parallel spacing, long M2 run";
+    "tight parallel spacing, short M3 run";
+    "tight parallel spacing, medium M3 run";
+    "tight parallel spacing, long M3 run";
+    "minimum spacing at via landing";
+    "minimum spacing next to wide trunk";
+    "parallel run length above recommendation (M2)";
+    "parallel run length above recommendation (M3)";
+    "stub end below recommended extension";
+    "narrow wire entering dense window";
+    "narrow wire leaving pin ladder";
+    "long minimum-width side branch";
+    "narrow wire between redundant via pair";
+    "spacing below recommendation near cell row edge";
+    "narrow trunk of high-fanout net";
+    "spacing below recommendation between trunks";
+    "narrow boundary-crossing wire";
+  |]
+
+let density_descriptions =
+  [|
+    "M1 density below recommended band (dishing risk)";
+    "M2 density below recommended band (dishing risk)";
+    "M3 density below recommended band (dishing risk)";
+    "M1 density above recommended band (short risk)";
+    "M2 density above recommended band (short risk)";
+    "M3 density above recommended band (short risk)";
+    "severely underfilled window";
+    "severely overfilled window";
+    "density gradient across adjacent windows";
+    "underfilled window at die edge";
+    "overfilled window at die corner";
+  |]
+
+let mk category prefix descriptions index =
+  {
+    id = Printf.sprintf "%s%02d" prefix index;
+    category;
+    index;
+    description = descriptions.(index);
+  }
+
+let all =
+  List.init n_via (mk Defect.Via "V" via_descriptions)
+  @ List.init n_metal (mk Defect.Metal "M" metal_descriptions)
+  @ List.init n_density (mk Defect.Density "D" density_descriptions)
+
+let find category index =
+  List.find (fun g -> g.category = category && g.index = index) all
+
+(* Context classifiers: deterministic mapping of a concrete violation
+   context onto a guideline of its category. *)
+
+let length_band net_length =
+  if net_length < 10.0 then 0 else if net_length < 25.0 then 1 else if net_length < 60.0 then 2 else 3
+
+let via_index ~layer ~net_length ~fanout =
+  let base = match layer with Geom.M1 -> 0 | Geom.M2 | Geom.M3 -> 7 in
+  let idx =
+    if fanout >= 3 then base + 4 + min 1 (fanout - 3)
+    else base + length_band net_length
+  in
+  min (n_via - 1) idx
+
+let metal_width_index ~layer ~width ~length =
+  let base = match layer with Geom.M2 -> 0 | Geom.M3 | Geom.M1 -> 4 in
+  let idx = base + length_band length in
+  let idx = if width <= 0.221 then 8 else idx in
+  min (n_metal - 1) idx
+
+let metal_spacing_index ~layer ~gap =
+  let base = match layer with Geom.M2 -> 10 | Geom.M3 | Geom.M1 -> 13 in
+  let band = if gap < 0.20 then 0 else if gap < 0.24 then 1 else 2 in
+  min (n_metal - 1) (base + band)
+
+let density_index ~layer ~low ~density =
+  let li = match layer with Geom.M1 -> 0 | Geom.M2 -> 1 | Geom.M3 -> 2 in
+  if low && density < 0.005 then 6
+  else if (not low) && density > 0.4 then 7
+  else if low then li
+  else 3 + li
+
+let recommended_wire_width = 0.28
+let recommended_spacing = 0.28
+let single_via_max_length = 8.0

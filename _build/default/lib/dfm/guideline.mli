@@ -1,0 +1,55 @@
+(** The DFM guideline catalog.
+
+    Following Section IV of the paper, three categories of recommended-layout
+    guidelines are modeled: 19 in the Via category, 29 in the Metal category
+    and 11 in the Density category.  Guidelines are *recommendations* (unlike
+    design rules): the router may violate them under congestion, and each
+    violation marks a location where a systematic defect is anticipated.
+
+    Within a category, individual guidelines correspond to context classes
+    (layer, length band, fanout band, ...); the scanner assigns each concrete
+    violation to its guideline index. *)
+
+type t = {
+  id : string;  (** e.g. ["V03"], ["M17"], ["D05"] *)
+  category : Dfm_cellmodel.Defect.category;
+  index : int;
+  description : string;
+}
+
+val n_via : int
+(** 19 *)
+
+val n_metal : int
+(** 29 *)
+
+val n_density : int
+(** 11 *)
+
+val all : t list
+(** All 59 guidelines. *)
+
+val find : Dfm_cellmodel.Defect.category -> int -> t
+(** @raise Not_found when the index is outside the category. *)
+
+(** {1 Context classifiers used by the scanner} *)
+
+val via_index :
+  layer:Dfm_layout.Geom.layer -> net_length:float -> fanout:int -> int
+(** Guideline index (0..18) for a single-via context. *)
+
+val metal_width_index : layer:Dfm_layout.Geom.layer -> width:float -> length:float -> int
+(** Guideline index (0..28) for a narrow-wire context. *)
+
+val metal_spacing_index : layer:Dfm_layout.Geom.layer -> gap:float -> int
+(** Guideline index (0..28) for a tight-spacing context. *)
+
+val density_index : layer:Dfm_layout.Geom.layer -> low:bool -> density:float -> int
+(** Guideline index (0..10) for an out-of-band density window. *)
+
+(** {1 Recommended values} *)
+
+val recommended_wire_width : float
+val recommended_spacing : float
+val single_via_max_length : float
+(** A non-redundant via is acceptable on nets shorter than this. *)

@@ -1,0 +1,1 @@
+lib/faults/fault.ml: Array Dfm_cellmodel Dfm_netlist List Printf

@@ -1,0 +1,1 @@
+lib/faults/fault.mli: Dfm_cellmodel Dfm_netlist

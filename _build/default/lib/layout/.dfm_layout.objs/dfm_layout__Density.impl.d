@@ -1,0 +1,1 @@
+lib/layout/density.ml: Array Float Floorplan Geom List Place Route

@@ -1,0 +1,1 @@
+lib/layout/density.mli: Geom Route

@@ -1,0 +1,1 @@
+lib/layout/drc.ml: Array Dfm_netlist Float Floorplan Geom Hashtbl List Place Printf Route

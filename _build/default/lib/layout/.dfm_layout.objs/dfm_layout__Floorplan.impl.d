@@ -1,0 +1,1 @@
+lib/layout/floorplan.ml: Dfm_netlist Geom

@@ -1,0 +1,1 @@
+lib/layout/floorplan.mli: Dfm_netlist Geom

@@ -1,0 +1,1 @@
+lib/layout/place.ml: Array Dfm_netlist Dfm_util Float Floorplan Geom Hashtbl List Printf

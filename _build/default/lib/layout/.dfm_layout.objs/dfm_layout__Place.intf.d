@@ -1,0 +1,1 @@
+lib/layout/place.mli: Dfm_netlist Floorplan Geom

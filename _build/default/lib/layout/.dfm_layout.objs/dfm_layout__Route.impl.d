@@ -1,0 +1,1 @@
+lib/layout/route.ml: Array Dfm_netlist Dfm_util Float Geom List Place Printf

@@ -1,0 +1,1 @@
+lib/layout/scan.ml: Array Dfm_netlist Geom Hashtbl List Place

@@ -1,0 +1,20 @@
+(** Metal-density analysis over fixed windows.
+
+    The die is divided into square windows and the routed metal area per
+    layer is accumulated per window.  Foundry DFM guidelines recommend a
+    density band per layer; windows below it risk dishing during CMP and
+    windows above it risk shorts — the Density guideline category of the
+    paper's Section IV. *)
+
+type window = {
+  win : Geom.rect;
+  density : (Geom.layer * float) list;  (** metal area / window area *)
+}
+
+type t = { windows : window array; window_size : float }
+
+val analyze : ?window_size:float -> Route.t -> t
+(** Default window size 12 um, clamped so there are at least 2x2 windows. *)
+
+val low_threshold : float
+val high_threshold : float

@@ -1,0 +1,133 @@
+module N = Dfm_netlist.Netlist
+
+type severity = Error | Warning
+
+type violation = {
+  rule : string;
+  severity : severity;
+  at : Geom.point;
+  detail : string;
+}
+
+type report = {
+  violations : violation list;
+  errors : int;
+  warnings : int;
+}
+
+let min_width = 0.22
+
+let check (rt : Route.t) =
+  let pl = rt.Route.place in
+  let die = pl.Place.fp.Floorplan.die in
+  let violations = ref [] in
+  let add rule severity at detail = violations := { rule; severity; at; detail } :: !violations in
+  (* R1 / R2: per-segment width and bounds. *)
+  Array.iter
+    (fun (s : Geom.segment) ->
+      if s.Geom.seg_width < min_width -. 1e-9 then
+        add "R1-min-width" Error s.Geom.seg_a
+          (Printf.sprintf "net %d: width %.3f < %.2f" s.Geom.seg_net s.Geom.seg_width min_width);
+      let inside (p : Geom.point) =
+        p.Geom.x >= die.Geom.lx -. 1e-6
+        && p.Geom.x <= die.Geom.hx +. 1e-6
+        && p.Geom.y >= die.Geom.ly -. 1e-6
+        && p.Geom.y <= die.Geom.hy +. 1e-6
+      in
+      if not (inside s.Geom.seg_a && inside s.Geom.seg_b) then
+        add "R2-off-die" Error s.Geom.seg_a (Printf.sprintf "net %d leaves the die" s.Geom.seg_net))
+    rt.Route.segments;
+  (* R3: placement legality. *)
+  (try Place.check_legal pl
+   with Failure msg -> add "R3-placement" Error { Geom.x = 0.0; y = 0.0 } msg);
+  (* R4: vias on their net's geometry (a segment endpoint or a pin). *)
+  let endpoints = Hashtbl.create 1024 in
+  let key net (p : Geom.point) =
+    (net, Float.round (p.Geom.x *. 1000.0), Float.round (p.Geom.y *. 1000.0))
+  in
+  Array.iter
+    (fun (s : Geom.segment) ->
+      Hashtbl.replace endpoints (key s.Geom.seg_net s.Geom.seg_a) ();
+      Hashtbl.replace endpoints (key s.Geom.seg_net s.Geom.seg_b) ())
+    rt.Route.segments;
+  Array.iter
+    (fun (v : Geom.via) ->
+      if not (Hashtbl.mem endpoints (key v.Geom.via_net v.Geom.via_at)) then
+        (* A pin location also qualifies. *)
+        let on_pin =
+          List.exists
+            (fun (p : Geom.point) -> Geom.dist p v.Geom.via_at < 1e-6)
+            (Place.net_pins pl v.Geom.via_net)
+        in
+        if not on_pin then
+          add "R4-floating-via" Error v.Geom.via_at
+            (Printf.sprintf "net %d: via not on its net's geometry" v.Geom.via_net))
+    rt.Route.vias;
+  (* R5: every sink pin of a routed net touches the net's geometry. *)
+  Array.iter
+    (fun (nn : N.net) ->
+      match nn.N.driver with
+      | N.Const _ -> ()
+      | N.Pi _ | N.Gate_out _ ->
+          if nn.N.sinks <> [] then
+            List.iter
+              (fun (g, _) ->
+                let p = Place.gate_center pl g in
+                let touched =
+                  Array.exists
+                    (fun (s : Geom.segment) ->
+                      s.Geom.seg_net = nn.N.net_id
+                      && (Geom.dist s.Geom.seg_a p < 1e-6 || Geom.dist s.Geom.seg_b p < 1e-6))
+                    rt.Route.segments
+                  || Array.exists
+                       (fun (v : Geom.via) ->
+                         v.Geom.via_net = nn.N.net_id && Geom.dist v.Geom.via_at p < 1e-6)
+                       rt.Route.vias
+                in
+                if not touched then
+                  add "R5-open-pin" Error p
+                    (Printf.sprintf "net %s misses sink gate %d" nn.N.net_name g))
+              nn.N.sinks)
+    pl.Place.nl.N.nets;
+  (* Warnings: same-layer different-net geometric conflicts (track sharing
+     at the global-routing abstraction). *)
+  let buckets = Hashtbl.create 1024 in
+  let bucket_of (s : Geom.segment) =
+    let coord =
+      match s.Geom.seg_layer with
+      | Geom.M2 -> s.Geom.seg_a.Geom.x
+      | Geom.M3 | Geom.M1 -> s.Geom.seg_a.Geom.y
+    in
+    (s.Geom.seg_layer, Float.round (coord *. 1000.0))
+  in
+  Array.iter
+    (fun s ->
+      let k = bucket_of s in
+      Hashtbl.replace buckets k (s :: (try Hashtbl.find buckets k with Not_found -> [])))
+    rt.Route.segments;
+  Hashtbl.iter
+    (fun _ segs ->
+      let rec pairs = function
+        | (s1 : Geom.segment) :: rest ->
+            List.iter
+              (fun (s2 : Geom.segment) ->
+                if s1.Geom.seg_net < s2.Geom.seg_net then
+                  match Geom.segments_parallel_gap s1 s2 with
+                  | Some gap when gap <= 0.01 ->
+                      add "W1-track-share" Warning s1.Geom.seg_a
+                        (Printf.sprintf "nets %d/%d share a track" s1.Geom.seg_net s2.Geom.seg_net)
+                  | Some _ | None -> ())
+              rest;
+            pairs rest
+        | [] -> ()
+      in
+      pairs segs)
+    buckets;
+  let violations = List.rev !violations in
+  {
+    violations;
+    errors = List.length (List.filter (fun v -> v.severity = Error) violations);
+    warnings = List.length (List.filter (fun v -> v.severity = Warning) violations);
+  }
+
+let clean r = r.errors = 0

@@ -1,0 +1,28 @@
+type t = {
+  die : Geom.rect;
+  row_height : float;
+  rows : int;
+  row_capacity : float;
+  utilization : float;
+}
+
+let create ?(utilization = 0.70) nl =
+  let cell_area = Dfm_netlist.Netlist.total_area nl in
+  let row_height = Dfm_netlist.Library.row_height nl.Dfm_netlist.Netlist.library in
+  let die_area = cell_area /. utilization in
+  let side = sqrt die_area in
+  (* Snap the height to a whole number of rows. *)
+  let rows = max 1 (int_of_float (ceil (side /. row_height))) in
+  let height = float_of_int rows *. row_height in
+  let width = die_area /. height in
+  {
+    die = { Geom.lx = 0.0; ly = 0.0; hx = width; hy = height };
+    row_height;
+    rows;
+    row_capacity = width;
+    utilization;
+  }
+
+let capacity_area t = float_of_int t.rows *. t.row_capacity *. t.row_height
+
+let fits t ~cell_area = cell_area <= capacity_area t

@@ -1,0 +1,24 @@
+(** Fixed floorplans.
+
+    The paper keeps the die area of the resynthesized circuit identical to
+    the original design (same floorplan); the floorplan is created once from
+    the original netlist at a given core utilization (70% in Section IV) and
+    every subsequent physical-design run must fit inside it. *)
+
+type t = {
+  die : Geom.rect;
+  row_height : float;
+  rows : int;
+  row_capacity : float;  (** usable width per row, um *)
+  utilization : float;   (** target utilization it was created with *)
+}
+
+val create : ?utilization:float -> Dfm_netlist.Netlist.t -> t
+(** Near-square die sized so that the netlist's total cell area fills
+    [utilization] (default 0.70) of it. *)
+
+val fits : t -> cell_area:float -> bool
+(** Whether a design of the given total cell area can be placed (area no
+    larger than the row capacity). *)
+
+val capacity_area : t -> float

@@ -1,0 +1,311 @@
+module N = Dfm_netlist.Netlist
+module Cell = Dfm_netlist.Cell
+module Rng = Dfm_util.Rng
+
+exception Does_not_fit of string
+
+type t = {
+  fp : Floorplan.t;
+  nl : N.t;
+  row_of : int array;
+  x_of : float array;
+  pin_of_pi : Geom.point array;
+  pin_of_po : Geom.point array;
+}
+
+let gate_width (nl : N.t) gid = nl.N.gates.(gid).N.cell.Cell.width
+
+let gate_center t gid =
+  let g = t.nl.N.gates.(gid) in
+  {
+    Geom.x = t.x_of.(gid) +. (g.N.cell.Cell.width /. 2.0);
+    Geom.y = (float_of_int t.row_of.(gid) +. 0.5) *. t.fp.Floorplan.row_height;
+  }
+
+let edge_pins die n east =
+  let h = Geom.rect_height die in
+  Array.init n (fun i ->
+      {
+        Geom.x = (if east then die.Geom.hx else die.Geom.lx);
+        Geom.y = die.Geom.ly +. (h *. (float_of_int i +. 1.0) /. (float_of_int n +. 1.0));
+      })
+
+let net_pins t nid =
+  let nn = t.nl.N.nets.(nid) in
+  let driver =
+    match nn.N.driver with
+    | N.Gate_out g -> [ gate_center t g ]
+    | N.Pi k -> [ t.pin_of_pi.(k) ]
+    | N.Const _ -> []
+  in
+  let sinks = List.map (fun (g, _) -> gate_center t g) nn.N.sinks in
+  let pads =
+    Array.to_list t.pin_of_po
+    |> List.filteri (fun k _ -> snd t.nl.N.pos.(k) = nid)
+  in
+  driver @ sinks @ pads
+
+let hpwl_of_pins = function
+  | [] | [ _ ] -> 0.0
+  | pins ->
+      let xs = List.map (fun (p : Geom.point) -> p.Geom.x) pins in
+      let ys = List.map (fun (p : Geom.point) -> p.Geom.y) pins in
+      let mn = List.fold_left Float.min infinity and mx = List.fold_left Float.max neg_infinity in
+      mx xs -. mn xs +. (mx ys -. mn ys)
+
+let net_hpwl t nid = hpwl_of_pins (net_pins t nid)
+
+let total_hpwl t =
+  let acc = ref 0.0 in
+  Array.iter (fun (nn : N.net) -> acc := !acc +. net_hpwl t nn.N.net_id) t.nl.N.nets;
+  !acc
+
+(* Re-pack one row: cells keep their order, x = running sum plus an even
+   share of the slack so the row spreads across the floorplan. *)
+let repack t (rows : int list array) r =
+  let members = rows.(r) in
+  let used = List.fold_left (fun acc g -> acc +. gate_width t.nl g) 0.0 members in
+  let n = List.length members in
+  let slack = Float.max 0.0 (t.fp.Floorplan.row_capacity -. used) in
+  let gap = if n = 0 then 0.0 else slack /. float_of_int (n + 1) in
+  let x = ref gap in
+  List.iter
+    (fun g ->
+      t.x_of.(g) <- !x;
+      x := !x +. gate_width t.nl g +. gap)
+    members
+
+(* ECO placement: keep named gates where they were, slot new gates into the
+   emptiest rows, re-pack. *)
+let place_incremental (prev : t) nl fp =
+  let ngates = N.num_gates nl in
+  let t =
+    {
+      fp;
+      nl;
+      row_of = Array.make ngates 0;
+      x_of = Array.make ngates 0.0;
+      pin_of_pi = edge_pins fp.Floorplan.die (Array.length nl.N.pis) false;
+      pin_of_po = edge_pins fp.Floorplan.die (Array.length nl.N.pos) true;
+    }
+  in
+  let prev_pos = Hashtbl.create 256 in
+  Array.iter
+    (fun (g : N.gate) ->
+      Hashtbl.replace prev_pos g.N.gate_name (prev.row_of.(g.N.gate_id), prev.x_of.(g.N.gate_id)))
+    prev.nl.N.gates;
+  let rows = Array.make fp.Floorplan.rows [] in  (* (sort key, gate) lists *)
+  let used = Array.make fp.Floorplan.rows 0.0 in
+  let newcomers = ref [] in
+  let placed = Array.make ngates false in
+  Array.iter
+    (fun (g : N.gate) ->
+      match Hashtbl.find_opt prev_pos g.N.gate_name with
+      | Some (r, x) ->
+          rows.(r) <- (x, g.N.gate_id) :: rows.(r);
+          used.(r) <- used.(r) +. gate_width nl g.N.gate_id;
+          t.row_of.(g.N.gate_id) <- r;
+          t.x_of.(g.N.gate_id) <- x;
+          placed.(g.N.gate_id) <- true
+      | None -> newcomers := g.N.gate_id :: !newcomers)
+    nl.N.gates;
+  (* Place each new gate near the centroid of its already-placed neighbours
+     (fanin drivers and fanout sinks), searching outward for a row with
+     space, so resynthesized logic lands where the logic it replaced was. *)
+  let neighbour_centroid gid =
+    let g = nl.N.gates.(gid) in
+    let pts = ref [] in
+    Array.iter
+      (fun fn ->
+        match (N.net nl fn).N.driver with
+        | N.Gate_out d when placed.(d) -> pts := (t.row_of.(d), t.x_of.(d)) :: !pts
+        | N.Gate_out _ | N.Pi _ | N.Const _ -> ())
+      g.N.fanins;
+    List.iter
+      (fun (sg, _) -> if placed.(sg) then pts := (t.row_of.(sg), t.x_of.(sg)) :: !pts)
+      (N.net nl g.N.fanout).N.sinks;
+    match !pts with
+    | [] -> (fp.Floorplan.rows / 2, fp.Floorplan.row_capacity /. 2.0)
+    | pts ->
+        let n = float_of_int (List.length pts) in
+        let ry = List.fold_left (fun a (r, _) -> a +. float_of_int r) 0.0 pts /. n in
+        let rx = List.fold_left (fun a (_, x) -> a +. x) 0.0 pts /. n in
+        (int_of_float (Float.round ry), rx)
+  in
+  List.iter
+    (fun gid ->
+      let w = gate_width nl gid in
+      let want_row, want_x = neighbour_centroid gid in
+      let best = ref (-1) in
+      let delta = ref 0 in
+      while !best < 0 && !delta < fp.Floorplan.rows do
+        let try_r r =
+          if r >= 0 && r < fp.Floorplan.rows && !best < 0
+             && used.(r) +. w <= fp.Floorplan.row_capacity
+          then best := r
+        in
+        try_r (want_row - !delta);
+        try_r (want_row + !delta);
+        incr delta
+      done;
+      if !best < 0 then raise (Does_not_fit "incremental placement: no row fits new gate");
+      rows.(!best) <- (want_x, gid) :: rows.(!best);
+      used.(!best) <- used.(!best) +. w;
+      t.row_of.(gid) <- !best;
+      t.x_of.(gid) <- want_x;
+      placed.(gid) <- true)
+    (List.sort compare !newcomers);
+  let ordered_rows =
+    Array.map
+      (fun members -> List.sort compare members |> List.map snd)
+      rows
+  in
+  for r = 0 to fp.Floorplan.rows - 1 do
+    repack t ordered_rows r
+  done;
+  t
+
+let place ?(seed = 11) ?sa_moves ?previous nl fp =
+  let ngates = N.num_gates nl in
+  let cell_area = N.total_area nl in
+  if not (Floorplan.fits fp ~cell_area) then
+    raise
+      (Does_not_fit
+         (Printf.sprintf "cell area %.1f exceeds floorplan capacity %.1f" cell_area
+            (Floorplan.capacity_area fp)));
+  match previous with
+  | Some prev ->
+      ignore seed;
+      ignore sa_moves;
+      place_incremental prev nl fp
+  | None ->
+      let rng = Rng.create seed in
+      let t =
+        {
+          fp;
+          nl;
+          row_of = Array.make ngates 0;
+          x_of = Array.make ngates 0.0;
+          pin_of_pi = edge_pins fp.Floorplan.die (Array.length nl.N.pis) false;
+          pin_of_po = edge_pins fp.Floorplan.die (Array.length nl.N.pos) true;
+        }
+      in
+      (* Initial placement: snake-fill rows in topological order so connected
+         logic starts out close together.  Leave 8% headroom per row for the
+         annealer to move cells across rows. *)
+      let rows = Array.make fp.Floorplan.rows [] in
+      let used = Array.make fp.Floorplan.rows 0.0 in
+      let order =
+        Array.to_list (N.topo_order nl)
+        @ List.map (fun (g : N.gate) -> g.N.gate_id) (N.seq_gates nl)
+      in
+      let headroom = 0.92 in
+      let r = ref 0 and dir = ref 1 in
+      List.iter
+        (fun gid ->
+          let w = gate_width nl gid in
+          let try_row () =
+            if used.(!r) +. w <= (fp.Floorplan.row_capacity *. headroom) || used.(!r) = 0.0 then true
+            else false
+          in
+          let attempts = ref 0 in
+          while (not (try_row ())) && !attempts < fp.Floorplan.rows do
+            incr attempts;
+            let nr = !r + !dir in
+            if nr < 0 || nr >= fp.Floorplan.rows then begin
+              dir := - !dir;
+              r := !r + !dir
+            end
+            else r := nr
+          done;
+          if used.(!r) +. w > fp.Floorplan.row_capacity && used.(!r) > 0.0 then begin
+            (* fall back to the emptiest row *)
+            let best = ref 0 in
+            for i = 1 to fp.Floorplan.rows - 1 do
+              if used.(i) < used.(!best) then best := i
+            done;
+            r := !best
+          end;
+          if used.(!r) +. w > fp.Floorplan.row_capacity then
+            raise (Does_not_fit "row overflow during initial placement");
+          rows.(!r) <- gid :: rows.(!r);
+          used.(!r) <- used.(!r) +. w;
+          t.row_of.(gid) <- !r)
+        order;
+      Array.iteri (fun i members -> rows.(i) <- List.rev members) rows;
+      for i = 0 to fp.Floorplan.rows - 1 do
+        repack t rows i
+      done;
+      (* Simulated annealing on HPWL with pairwise swaps. *)
+      let nets_of_gate gid =
+        let g = nl.N.gates.(gid) in
+        List.sort_uniq compare (g.N.fanout :: Array.to_list g.N.fanins)
+      in
+      let cost_of nets = List.fold_left (fun acc n -> acc +. net_hpwl t n) 0.0 nets in
+      let moves = match sa_moves with Some m -> m | None -> 24 * ngates in
+      if ngates >= 2 then begin
+        let temperature = ref (0.15 *. Geom.rect_width fp.Floorplan.die) in
+        let cooling = exp (log 0.02 /. float_of_int (max moves 1)) in
+        for _ = 1 to moves do
+          let g1 = Rng.int rng ngates and g2 = Rng.int rng ngates in
+          if g1 <> g2 then begin
+            let r1 = t.row_of.(g1) and r2 = t.row_of.(g2) in
+            let w1 = gate_width nl g1 and w2 = gate_width nl g2 in
+            let fits =
+              r1 = r2
+              || used.(r1) -. w1 +. w2 <= fp.Floorplan.row_capacity
+                 && used.(r2) -. w2 +. w1 <= fp.Floorplan.row_capacity
+            in
+            if fits then begin
+              let nets = List.sort_uniq compare (nets_of_gate g1 @ nets_of_gate g2) in
+              let before = cost_of nets in
+              (* swap *)
+              let swap () =
+                let i1 = t.row_of.(g1) and i2 = t.row_of.(g2) in
+                let exchange = List.map (fun g -> if g = g1 then g2 else if g = g2 then g1 else g) in
+                rows.(i1) <- exchange rows.(i1);
+                if i2 <> i1 then rows.(i2) <- exchange rows.(i2);
+                t.row_of.(g1) <- i2;
+                t.row_of.(g2) <- i1;
+                used.(i1) <- used.(i1) -. w1 +. w2;
+                used.(i2) <- used.(i2) -. w2 +. w1;
+                repack t rows i1;
+                if i2 <> i1 then repack t rows i2
+              in
+              swap ();
+              let after = cost_of nets in
+              let delta = after -. before in
+              let accept = delta <= 0.0 || Rng.float rng 1.0 < exp (-.delta /. !temperature) in
+              if not accept then swap ()
+            end
+          end;
+          temperature := !temperature *. cooling
+        done
+      end;
+      t
+
+let check_legal t =
+  let fp = t.fp in
+  let per_row = Array.make fp.Floorplan.rows [] in
+  Array.iteri
+    (fun gid r ->
+      if r < 0 || r >= fp.Floorplan.rows then failwith "Place.check_legal: bad row";
+      per_row.(r) <- gid :: per_row.(r))
+    t.row_of;
+  Array.iter
+    (fun members ->
+      let sorted = List.sort (fun a b -> compare t.x_of.(a) t.x_of.(b)) members in
+      let rec walk = function
+        | [] | [ _ ] -> ()
+        | a :: (b :: _ as rest) ->
+            if t.x_of.(a) +. gate_width t.nl a > t.x_of.(b) +. 1e-6 then
+              failwith "Place.check_legal: overlap";
+            walk rest
+      in
+      walk sorted;
+      List.iter
+        (fun g ->
+          if t.x_of.(g) < -1e-6 || t.x_of.(g) +. gate_width t.nl g > fp.Floorplan.row_capacity +. 1e-6
+          then failwith "Place.check_legal: outside row")
+        members)
+    per_row

@@ -1,0 +1,23 @@
+(** Global routing: star-topology L-shaped routes over three metal layers.
+
+    Each net is routed from its driver pin to every sink pin with a vertical
+    M2 run and a horizontal M3 run, with via (stacks) at the driver, the
+    bend, and the sink.  The router models the usual manufacturing-closure
+    compromises that DFM guidelines exist to discourage: in tighter spots it
+    uses sub-recommended wire widths and single (non-redundant) vias; the
+    guideline scanner in [dfm_guidelines] then finds exactly those spots. *)
+
+type t = {
+  place : Place.t;
+  segments : Geom.segment array;
+  vias : Geom.via array;
+  net_length : float array;  (** routed length per net id *)
+}
+
+val route : ?seed:int -> Place.t -> t
+
+val total_wirelength : t -> float
+
+val nets_in_window : t -> Geom.rect -> int list
+(** Nets with routed geometry intersecting a window (used by density
+    guidelines to attribute violations to nets). *)

@@ -1,0 +1,50 @@
+module N = Dfm_netlist.Netlist
+module Cell = Dfm_netlist.Cell
+
+type t = {
+  order : int list;
+  wirelength : float;
+  chain_length : int;
+}
+
+let stitch (pl : Place.t) =
+  let nl = pl.Place.nl in
+  let flops = N.seq_gates nl in
+  (* Row-major serpentine: sort by row; within a row, alternate direction. *)
+  let keyed =
+    List.map
+      (fun (g : N.gate) ->
+        let r = pl.Place.row_of.(g.N.gate_id) in
+        let x = pl.Place.x_of.(g.N.gate_id) in
+        (r, x, g.N.gate_id))
+      flops
+  in
+  let by_row = Hashtbl.create 16 in
+  List.iter
+    (fun (r, x, g) ->
+      Hashtbl.replace by_row r ((x, g) :: (try Hashtbl.find by_row r with Not_found -> [])))
+    keyed;
+  let rows = Hashtbl.fold (fun r _ acc -> r :: acc) by_row [] |> List.sort compare in
+  let order =
+    List.concat_map
+      (fun r ->
+        let members = List.sort compare (Hashtbl.find by_row r) in
+        let members = if r mod 2 = 1 then List.rev members else members in
+        List.map snd members)
+      rows
+  in
+  let wirelength =
+    let rec walk acc = function
+      | a :: (b :: _ as rest) ->
+          let pa = Place.gate_center pl a and pb = Place.gate_center pl b in
+          walk (acc +. Geom.dist pa pb) rest
+      | _ -> acc
+    in
+    walk 0.0 order
+  in
+  { order; wirelength; chain_length = List.length order }
+
+let test_cycles t ~patterns = (patterns + 1) * (t.chain_length + 1)
+
+let test_time_ms t ~patterns ~shift_mhz =
+  float_of_int (test_cycles t ~patterns) /. (shift_mhz *. 1000.0)

@@ -1,0 +1,23 @@
+(** Scan-chain stitching.
+
+    The full-scan assumption behind every analysis in this project implies a
+    physical scan chain through the flip-flops.  The chain is stitched in
+    placement order (a row-major serpentine, the standard low-wirelength
+    heuristic) and its length is what turns a test-pattern count |T| into
+    tester time — the cost the paper's Section I argues must not explode,
+    and the reason it resynthesizes instead of just adding patterns. *)
+
+type t = {
+  order : int list;        (** gate ids of the flip-flops, scan-in → scan-out *)
+  wirelength : float;      (** estimated stitching wirelength, um *)
+  chain_length : int;
+}
+
+val stitch : Place.t -> t
+(** Serpentine over (row, x) positions of the sequential cells. *)
+
+val test_cycles : t -> patterns:int -> int
+(** Scan cycles to apply a test set: [(patterns + 1) * (chain_length + 1)]
+    (load/unload overlapped, one capture per pattern). *)
+
+val test_time_ms : t -> patterns:int -> shift_mhz:float -> float

@@ -1,0 +1,1 @@
+lib/logic/truthtable.ml: Array Hashtbl Int64 List Printf

@@ -1,0 +1,119 @@
+type t = { arity : int; bits : int64 }
+
+let mask n =
+  if n >= 6 then -1L else Int64.sub (Int64.shift_left 1L (1 lsl n)) 1L
+
+let check_arity n =
+  if n < 0 || n > 6 then invalid_arg "Truthtable: arity must be in [0,6]"
+
+let of_bits ~arity bits =
+  check_arity arity;
+  { arity; bits = Int64.logand bits (mask arity) }
+
+let arity t = t.arity
+let bits t = t.bits
+
+let index_of_assignment a =
+  let idx = ref 0 in
+  Array.iteri (fun k v -> if v then idx := !idx lor (1 lsl k)) a;
+  !idx
+
+let eval_index t i = Int64.logand (Int64.shift_right_logical t.bits i) 1L = 1L
+
+let eval t a =
+  assert (Array.length a = t.arity);
+  eval_index t (index_of_assignment a)
+
+let create n f =
+  check_arity n;
+  let bits = ref 0L in
+  for i = 0 to (1 lsl n) - 1 do
+    let a = Array.init n (fun k -> (i lsr k) land 1 = 1) in
+    if f a then bits := Int64.logor !bits (Int64.shift_left 1L i)
+  done;
+  { arity = n; bits = !bits }
+
+let const0 n =
+  check_arity n;
+  { arity = n; bits = 0L }
+
+let const1 n =
+  check_arity n;
+  { arity = n; bits = mask n }
+
+let var n k =
+  check_arity n;
+  if k < 0 || k >= n then invalid_arg "Truthtable.var";
+  create n (fun a -> a.(k))
+
+let lnot t = { t with bits = Int64.logand (Int64.lognot t.bits) (mask t.arity) }
+
+let binop op a b =
+  if a.arity <> b.arity then invalid_arg "Truthtable: arity mismatch";
+  { arity = a.arity; bits = op a.bits b.bits }
+
+let land_ = binop Int64.logand
+let lor_ = binop Int64.logor
+let lxor_ = binop Int64.logxor
+
+let equal a b = a.arity = b.arity && Int64.equal a.bits b.bits
+
+let cofactor t k v =
+  if k < 0 || k >= t.arity then invalid_arg "Truthtable.cofactor";
+  create t.arity (fun a ->
+      let a' = Array.copy a in
+      a'.(k) <- v;
+      eval t a')
+
+let depends_on t k = not (equal (cofactor t k false) (cofactor t k true))
+
+let support_size t =
+  let c = ref 0 in
+  for k = 0 to t.arity - 1 do
+    if depends_on t k then incr c
+  done;
+  !c
+
+let permute t p =
+  if Array.length p <> t.arity then invalid_arg "Truthtable.permute";
+  create t.arity (fun a -> eval t (Array.init t.arity (fun k -> a.(p.(k)))))
+
+(* Enumerate permutations of [0..n-1] via Heap's algorithm. *)
+let permutations n =
+  let result = ref [] in
+  let a = Array.init n (fun i -> i) in
+  let rec go k =
+    if k = 1 then result := Array.copy a :: !result
+    else
+      for i = 0 to k - 1 do
+        go (k - 1);
+        let j = if k mod 2 = 0 then i else 0 in
+        let tmp = a.(j) in
+        a.(j) <- a.(k - 1);
+        a.(k - 1) <- tmp
+      done
+  in
+  if n = 0 then [ [||] ] else (go n; !result)
+
+let all_permutations t =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun p ->
+      let t' = permute t p in
+      if Hashtbl.mem seen t'.bits then None
+      else begin
+        Hashtbl.add seen t'.bits ();
+        Some t'
+      end)
+    (permutations t.arity)
+
+let minterms t =
+  let acc = ref [] in
+  for i = (1 lsl t.arity) - 1 downto 0 do
+    if eval_index t i then acc := i :: !acc
+  done;
+  !acc
+
+let count_ones t = List.length (minterms t)
+
+let to_string t = Printf.sprintf "0x%Lx/%d" t.bits t.arity

@@ -1,0 +1,60 @@
+(** Truth tables of Boolean functions with up to 6 inputs, packed into the
+    low [2^n] bits of an [int64].  Bit [i] is the function value on the input
+    assignment whose bit [k] is [(i lsr k) land 1] for input [k].
+
+    These are the workhorse of cell-function description, cut matching during
+    technology mapping, and switch-level defect characterization. *)
+
+type t = { arity : int; bits : int64 }
+
+val create : int -> (bool array -> bool) -> t
+(** [create n f] tabulates [f] over all [2^n] assignments. *)
+
+val of_bits : arity:int -> int64 -> t
+(** Build from raw bits; bits above [2^arity] are masked off. *)
+
+val arity : t -> int
+val bits : t -> int64
+
+val eval : t -> bool array -> bool
+(** Evaluate on an assignment of length [arity]. *)
+
+val eval_index : t -> int -> bool
+(** Evaluate on the assignment encoded as an integer minterm index. *)
+
+val const0 : int -> t
+val const1 : int -> t
+val var : int -> int -> t
+(** [var n k] is the projection onto input [k] among [n] inputs. *)
+
+val lnot : t -> t
+val land_ : t -> t -> t
+val lor_ : t -> t -> t
+val lxor_ : t -> t -> t
+
+val equal : t -> t -> bool
+
+val cofactor : t -> int -> bool -> t
+(** [cofactor f k v] fixes input [k] to [v]; arity is unchanged (the input
+    becomes vacuous). *)
+
+val depends_on : t -> int -> bool
+(** Whether the function actually depends on input [k]. *)
+
+val support_size : t -> int
+
+val permute : t -> int array -> t
+(** [permute f p] renames input [k] of [f] to [p.(k)].  [p] must be a
+    permutation of [0 .. arity-1]. *)
+
+val all_permutations : t -> t list
+(** All distinct truth tables obtained by permuting inputs; used for cut
+    matching against library cells. *)
+
+val minterms : t -> int list
+(** Indices of assignments on which the function is 1. *)
+
+val count_ones : t -> int
+
+val to_string : t -> string
+(** Hexadecimal rendering, e.g. ["0x8/2"] for AND2. *)

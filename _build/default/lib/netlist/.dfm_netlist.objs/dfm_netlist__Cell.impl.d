@@ -1,0 +1,1 @@
+lib/netlist/cell.ml: Array Dfm_logic Format Printf String

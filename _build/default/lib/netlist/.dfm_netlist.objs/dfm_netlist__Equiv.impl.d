@@ -1,0 +1,1 @@
+lib/netlist/equiv.ml: Array Cell Dfm_logic Hashtbl List Netlist

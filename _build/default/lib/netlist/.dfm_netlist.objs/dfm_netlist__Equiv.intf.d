@@ -1,0 +1,1 @@
+lib/netlist/equiv.mli: Dfm_logic Netlist

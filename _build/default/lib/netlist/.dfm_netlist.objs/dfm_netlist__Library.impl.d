@@ -1,0 +1,1 @@
+lib/netlist/library.ml: Array Cell Dfm_logic Float Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/netlist/netlist.ml: Array Cell Format Hashtbl Int Library List Printf Queue Set

@@ -1,0 +1,1 @@
+lib/netlist/netlist_io.ml: Array Buffer Cell Format Hashtbl List Netlist Printf String

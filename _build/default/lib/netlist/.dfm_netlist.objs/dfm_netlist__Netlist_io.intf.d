@@ -1,0 +1,1 @@
+lib/netlist/netlist_io.mli: Format Library Netlist

@@ -1,0 +1,1 @@
+lib/netlist/verilog.ml: Array Buffer Bytes Cell Format Hashtbl Library List Netlist Printf String

@@ -1,0 +1,100 @@
+module Tt = Dfm_logic.Truthtable
+
+type t = { name : string; cells : Cell.t list; by_name : (string, Cell.t) Hashtbl.t }
+
+let make ~name cells =
+  let by_name = Hashtbl.create 32 in
+  List.iter
+    (fun (c : Cell.t) ->
+      if Hashtbl.mem by_name c.Cell.name then
+        invalid_arg (Printf.sprintf "Library.make: duplicate cell %s" c.Cell.name);
+      Hashtbl.add by_name c.Cell.name c)
+    cells;
+  { name; cells; by_name }
+
+let name t = t.name
+let cells t = t.cells
+let size t = List.length t.cells
+
+let find t n =
+  match Hashtbl.find_opt t.by_name n with Some c -> c | None -> raise Not_found
+
+let find_opt t n = Hashtbl.find_opt t.by_name n
+let mem t n = Hashtbl.mem t.by_name n
+
+let combinational t = List.filter (fun c -> not c.Cell.is_seq) t.cells
+let sequential t = List.filter (fun c -> c.Cell.is_seq) t.cells
+
+let restrict t ~excluded =
+  let keep c = not (List.mem c.Cell.name excluded) in
+  make ~name:t.name (List.filter keep t.cells)
+
+let filter t p = make ~name:t.name (List.filter p t.cells)
+
+(* Exact completeness test via Post's criterion: a set of Boolean functions
+   is functionally complete iff it contains, for each of the five Post
+   classes (0-preserving, 1-preserving, monotone, self-dual, affine), at
+   least one function outside that class. *)
+let preserves_0 f = not (Tt.eval_index f 0)
+
+let preserves_1 f = Tt.eval_index f ((1 lsl Tt.arity f) - 1)
+
+let monotone f =
+  let n = Tt.arity f in
+  let exception Violation in
+  try
+    for m = 0 to (1 lsl n) - 1 do
+      for k = 0 to n - 1 do
+        if (m lsr k) land 1 = 0 then begin
+          let m1 = m lor (1 lsl k) in
+          if Tt.eval_index f m && not (Tt.eval_index f m1) then raise Violation
+        end
+      done
+    done;
+    true
+  with Violation -> false
+
+let self_dual f =
+  let n = Tt.arity f in
+  let all = (1 lsl n) - 1 in
+  let exception Violation in
+  try
+    for m = 0 to all do
+      if Tt.eval_index f m = Tt.eval_index f (all - m) then raise Violation
+    done;
+    true
+  with Violation -> false
+
+(* A function is affine iff its algebraic normal form has no monomial of
+   degree >= 2.  Compute the ANF with the Moebius transform. *)
+let affine f =
+  let n = Tt.arity f in
+  let sz = 1 lsl n in
+  let a = Array.init sz (fun m -> if Tt.eval_index f m then 1 else 0) in
+  for k = 0 to n - 1 do
+    for m = 0 to sz - 1 do
+      if (m lsr k) land 1 = 1 then a.(m) <- a.(m) lxor a.(m lxor (1 lsl k))
+    done
+  done;
+  let degree_of m =
+    let rec pop m acc = if m = 0 then acc else pop (m lsr 1) (acc + (m land 1)) in
+    pop m 0
+  in
+  let exception Violation in
+  try
+    for m = 0 to sz - 1 do
+      if a.(m) = 1 && degree_of m >= 2 then raise Violation
+    done;
+    true
+  with Violation -> false
+
+let functionally_complete t =
+  let fs = List.map (fun c -> c.Cell.func) (combinational t) in
+  List.exists (fun f -> not (preserves_0 f)) fs
+  && List.exists (fun f -> not (preserves_1 f)) fs
+  && List.exists (fun f -> not (monotone f)) fs
+  && List.exists (fun f -> not (self_dual f)) fs
+  && List.exists (fun f -> not (affine f)) fs
+
+let row_height t =
+  List.fold_left (fun acc c -> Float.max acc c.Cell.height) 0.0 t.cells

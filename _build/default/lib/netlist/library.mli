@@ -1,0 +1,36 @@
+(** A standard-cell library: an ordered collection of {!Cell.t}.
+
+    The resynthesis procedure of the paper orders cells by decreasing number
+    of internal DFM faults and repeatedly re-maps subcircuits with prefixes of
+    that order excluded; {!restrict} produces the restricted libraries. *)
+
+type t
+
+val make : name:string -> Cell.t list -> t
+(** Cell names must be unique. *)
+
+val name : t -> string
+val cells : t -> Cell.t list
+val size : t -> int
+
+val find : t -> string -> Cell.t
+(** @raise Not_found if no cell has that name. *)
+
+val find_opt : t -> string -> Cell.t option
+val mem : t -> string -> bool
+
+val combinational : t -> Cell.t list
+val sequential : t -> Cell.t list
+
+val restrict : t -> excluded:string list -> t
+(** Library without the named cells. *)
+
+val filter : t -> (Cell.t -> bool) -> t
+
+val functionally_complete : t -> bool
+(** True when the combinational cells can express any Boolean function:
+    there is an inverting function and a nontrivial 2-input function
+    (NAND2 or NOR2 alone suffice; INV plus AND/OR also works). *)
+
+val row_height : t -> float
+(** Common cell height used by the placer (max over cells). *)

@@ -1,0 +1,533 @@
+type driver = Pi of int | Gate_out of int | Const of bool
+
+type net = {
+  net_id : int;
+  net_name : string;
+  driver : driver;
+  sinks : (int * int) list;
+}
+
+type gate = {
+  gate_id : int;
+  gate_name : string;
+  cell : Cell.t;
+  fanins : int array;
+  fanout : int;
+}
+
+type t = {
+  name : string;
+  library : Library.t;
+  pis : (string * int) array;
+  pos : (string * int) array;
+  gates : gate array;
+  nets : net array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Shared helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let compute_sinks ~num_nets ~(gates : gate array) =
+  let sinks = Array.make num_nets [] in
+  Array.iter
+    (fun g ->
+      Array.iteri
+        (fun pin n -> sinks.(n) <- (g.gate_id, pin) :: sinks.(n))
+        g.fanins)
+    gates;
+  Array.map List.rev sinks
+
+let num_gates t = Array.length t.gates
+let num_nets t = Array.length t.nets
+let gate t i = t.gates.(i)
+let net t i = t.nets.(i)
+
+let driver_gate t n =
+  match t.nets.(n).driver with Gate_out g -> Some g | Pi _ | Const _ -> None
+
+let comb_gates t =
+  Array.to_list t.gates |> List.filter (fun g -> not g.cell.Cell.is_seq)
+
+let seq_gates t = Array.to_list t.gates |> List.filter (fun g -> g.cell.Cell.is_seq)
+
+let input_nets t =
+  let pis = Array.to_list t.pis in
+  let ffs =
+    seq_gates t |> List.map (fun g -> ("ppi:" ^ g.gate_name, g.fanout))
+  in
+  pis @ ffs
+
+let observe_nets t =
+  let pos = Array.to_list t.pos in
+  let ffs =
+    seq_gates t |> List.map (fun g -> ("ppo:" ^ g.gate_name, g.fanins.(0)))
+  in
+  pos @ ffs
+
+(* Kahn's algorithm over combinational gates.  A gate becomes ready when all
+   fanin nets are sources (PI / const / flip-flop output) or outputs of
+   already-ordered combinational gates. *)
+let topo_order t =
+  let n = num_gates t in
+  let indeg = Array.make n 0 in
+  let comb g = not g.cell.Cell.is_seq in
+  Array.iter
+    (fun g ->
+      if comb g then
+        Array.iter
+          (fun fn ->
+            match t.nets.(fn).driver with
+            | Gate_out d when comb t.gates.(d) -> indeg.(g.gate_id) <- indeg.(g.gate_id) + 1
+            | Gate_out _ | Pi _ | Const _ -> ())
+          g.fanins)
+    t.gates;
+  let queue = Queue.create () in
+  Array.iter (fun g -> if comb g && indeg.(g.gate_id) = 0 then Queue.add g.gate_id queue) t.gates;
+  let order = ref [] in
+  let count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let gid = Queue.pop queue in
+    order := gid :: !order;
+    incr count;
+    let out_net = t.gates.(gid).fanout in
+    List.iter
+      (fun (sink, _) ->
+        if comb t.gates.(sink) then begin
+          indeg.(sink) <- indeg.(sink) - 1;
+          if indeg.(sink) = 0 then Queue.add sink queue
+        end)
+      t.nets.(out_net).sinks
+  done;
+  let total_comb = List.length (comb_gates t) in
+  if !count <> total_comb then
+    failwith
+      (Printf.sprintf "Netlist.topo_order: combinational cycle in %s (%d of %d ordered)"
+         t.name !count total_comb);
+  Array.of_list (List.rev !order)
+
+let gate_levels t =
+  let levels = Array.make (num_gates t) 0 in
+  let order = topo_order t in
+  Array.iter
+    (fun gid ->
+      let g = t.gates.(gid) in
+      let lvl = ref 0 in
+      Array.iter
+        (fun fn ->
+          match t.nets.(fn).driver with
+          | Gate_out d when not t.gates.(d).cell.Cell.is_seq ->
+              lvl := max !lvl (levels.(d) + 1)
+          | Gate_out _ | Pi _ | Const _ -> ())
+        g.fanins;
+      levels.(gid) <- !lvl)
+    order;
+  levels
+
+let fanout_gates t gid =
+  let out_net = t.gates.(gid).fanout in
+  t.nets.(out_net).sinks |> List.map fst |> List.sort_uniq compare
+
+let fanin_gates t gid =
+  Array.to_list t.gates.(gid).fanins
+  |> List.filter_map (fun n -> driver_gate t n)
+  |> List.sort_uniq compare
+
+let adjacent_gates t gid =
+  List.sort_uniq compare (fanin_gates t gid @ fanout_gates t gid)
+
+let total_area t =
+  Array.fold_left (fun acc g -> acc +. g.cell.Cell.area) 0.0 t.gates
+
+let cell_counts t =
+  let tbl = Hashtbl.create 32 in
+  Array.iter
+    (fun g ->
+      let k = g.cell.Cell.name in
+      Hashtbl.replace tbl k (1 + (try Hashtbl.find tbl k with Not_found -> 0)))
+    t.gates;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let validate t =
+  let fail fmt =
+    Printf.ksprintf (fun s -> failwith ("Netlist.validate " ^ t.name ^ ": " ^ s)) fmt
+  in
+  Array.iteri
+    (fun i g ->
+      if g.gate_id <> i then fail "gate id mismatch at %d" i;
+      if Array.length g.fanins <> Cell.arity g.cell then
+        fail "gate %s: pin count %d vs cell %s arity %d" g.gate_name
+          (Array.length g.fanins) g.cell.Cell.name (Cell.arity g.cell);
+      Array.iter
+        (fun n -> if n < 0 || n >= num_nets t then fail "gate %s: bad fanin net %d" g.gate_name n)
+        g.fanins;
+      if g.fanout < 0 || g.fanout >= num_nets t then fail "gate %s: bad fanout" g.gate_name;
+      match t.nets.(g.fanout).driver with
+      | Gate_out d when d = i -> ()
+      | _ -> fail "gate %s: fanout net not driven by it" g.gate_name)
+    t.gates;
+  Array.iteri
+    (fun i n ->
+      if n.net_id <> i then fail "net id mismatch at %d" i;
+      (match n.driver with
+      | Pi k ->
+          if k < 0 || k >= Array.length t.pis then fail "net %s: bad PI index" n.net_name;
+          if snd t.pis.(k) <> i then fail "net %s: PI back-pointer mismatch" n.net_name
+      | Gate_out g ->
+          if g < 0 || g >= num_gates t then fail "net %s: bad driver gate" n.net_name
+      | Const _ -> ());
+      List.iter
+        (fun (g, pin) ->
+          if g < 0 || g >= num_gates t then fail "net %s: bad sink gate" n.net_name;
+          if pin < 0 || pin >= Array.length t.gates.(g).fanins then
+            fail "net %s: bad sink pin" n.net_name;
+          if t.gates.(g).fanins.(pin) <> i then fail "net %s: sink mismatch" n.net_name)
+        n.sinks)
+    t.nets;
+  let expected = compute_sinks ~num_nets:(num_nets t) ~gates:t.gates in
+  Array.iteri
+    (fun i n ->
+      if List.sort compare n.sinks <> List.sort compare expected.(i) then
+        fail "net %s: stale sink list" n.net_name)
+    t.nets;
+  Array.iter
+    (fun (pname, nid) ->
+      if nid < 0 || nid >= num_nets t then fail "PO %s: bad net" pname)
+    t.pos;
+  ignore (topo_order t)
+
+(* ------------------------------------------------------------------ *)
+(* Builder                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Builder = struct
+  type proto_net = { mutable p_driver : driver option; p_name : string }
+
+  type b = {
+    b_name : string;
+    b_lib : Library.t;
+    mutable b_nets : proto_net list;  (* reversed *)
+    mutable b_nnets : int;
+    mutable b_gates : (string * Cell.t * int array * int) list;  (* reversed *)
+    mutable b_ngates : int;
+    mutable b_pis : (string * int) list;  (* reversed *)
+    mutable b_pos : (string * int) list;  (* reversed *)
+    mutable b_const0 : int option;
+    mutable b_const1 : int option;
+  }
+
+  let create ~name lib =
+    {
+      b_name = name;
+      b_lib = lib;
+      b_nets = [];
+      b_nnets = 0;
+      b_gates = [];
+      b_ngates = 0;
+      b_pis = [];
+      b_pos = [];
+      b_const0 = None;
+      b_const1 = None;
+    }
+
+  let fresh_net b ?driver name =
+    let id = b.b_nnets in
+    b.b_nets <- { p_driver = driver; p_name = name } :: b.b_nets;
+    b.b_nnets <- id + 1;
+    id
+
+  let add_pi b name =
+    let idx = List.length b.b_pis in
+    let nid = fresh_net b ~driver:(Pi idx) name in
+    b.b_pis <- (name, nid) :: b.b_pis;
+    nid
+
+  let const_net b v =
+    let cached = if v then b.b_const1 else b.b_const0 in
+    match cached with
+    | Some n -> n
+    | None ->
+        let nid = fresh_net b ~driver:(Const v) (if v then "const1" else "const0") in
+        if v then b.b_const1 <- Some nid else b.b_const0 <- Some nid;
+        nid
+
+  let declare_net b name = fresh_net b name
+
+  let nth_net b nid = List.nth b.b_nets (b.b_nnets - 1 - nid)
+
+  let add_gate_driving b ?name ~cell fanins out =
+    let c = Library.find b.b_lib cell in
+    if Array.length fanins <> Cell.arity c then
+      invalid_arg (Printf.sprintf "Builder.add_gate %s: expected %d pins, got %d"
+                     cell (Cell.arity c) (Array.length fanins));
+    let gid = b.b_ngates in
+    let gname = match name with Some n -> n | None -> Printf.sprintf "g%d" gid in
+    let pn = nth_net b out in
+    (match pn.p_driver with
+    | Some _ -> invalid_arg (Printf.sprintf "Builder.add_gate %s: net already driven" gname)
+    | None -> pn.p_driver <- Some (Gate_out gid));
+    b.b_gates <- (gname, c, Array.copy fanins, out) :: b.b_gates;
+    b.b_ngates <- gid + 1
+
+  let add_gate b ?name ~cell fanins =
+    let out = fresh_net b (Printf.sprintf "n%d" b.b_nnets) in
+    add_gate_driving b ?name ~cell fanins out;
+    out
+
+  let mark_po b name nid = b.b_pos <- (name, nid) :: b.b_pos
+
+  let finish b =
+    let nets_proto = Array.of_list (List.rev b.b_nets) in
+    let gates =
+      List.rev b.b_gates
+      |> List.mapi (fun i (gate_name, cell, fanins, fanout) ->
+             { gate_id = i; gate_name; cell; fanins; fanout })
+      |> Array.of_list
+    in
+    let sinks = compute_sinks ~num_nets:(Array.length nets_proto) ~gates in
+    let nets =
+      Array.mapi
+        (fun i pn ->
+          match pn.p_driver with
+          | None ->
+              failwith
+                (Printf.sprintf "Builder.finish %s: net %s has no driver" b.b_name pn.p_name)
+          | Some d -> { net_id = i; net_name = pn.p_name; driver = d; sinks = sinks.(i) })
+        nets_proto
+    in
+    let t =
+      {
+        name = b.b_name;
+        library = b.b_lib;
+        pis = Array.of_list (List.rev b.b_pis);
+        pos = Array.of_list (List.rev b.b_pos);
+        gates;
+        nets;
+      }
+    in
+    validate t;
+    t
+end
+
+(* ------------------------------------------------------------------ *)
+(* Region extraction and replacement                                   *)
+(* ------------------------------------------------------------------ *)
+
+type boundary = {
+  in_nets : (string * int) list;
+  out_nets : (string * int) list;
+}
+
+module IntSet = Set.Make (Int)
+
+let extract t ~gates:region =
+  let rset = IntSet.of_list region in
+  List.iter
+    (fun gid ->
+      if t.gates.(gid).cell.Cell.is_seq then
+        invalid_arg "Netlist.extract: sequential gate in region")
+    region;
+  (* Boundary inputs: nets read by the region but not driven inside it
+     (constants excluded: they are re-created locally). *)
+  let is_region_driven n =
+    match t.nets.(n).driver with Gate_out g -> IntSet.mem g rset | Pi _ | Const _ -> false
+  in
+  let in_list = ref [] and in_seen = Hashtbl.create 16 in
+  List.iter
+    (fun gid ->
+      Array.iter
+        (fun n ->
+          match t.nets.(n).driver with
+          | Const _ -> ()
+          | Pi _ | Gate_out _ ->
+              if (not (is_region_driven n)) && not (Hashtbl.mem in_seen n) then begin
+                Hashtbl.add in_seen n ();
+                in_list := n :: !in_list
+              end)
+        t.gates.(gid).fanins)
+    region;
+  let in_parent_nets = List.rev !in_list in
+  (* Boundary outputs: region-driven nets read outside the region or marked
+     as primary outputs. *)
+  let po_nets = Array.fold_left (fun acc (_, n) -> IntSet.add n acc) IntSet.empty t.pos in
+  let out_parent_nets =
+    List.filter_map
+      (fun gid ->
+        let n = t.gates.(gid).fanout in
+        let outside_sink =
+          List.exists (fun (g, _) -> not (IntSet.mem g rset)) t.nets.(n).sinks
+        in
+        if outside_sink || IntSet.mem n po_nets then Some n else None)
+      region
+    |> List.sort_uniq compare
+  in
+  let b = Builder.create ~name:(t.name ^ "_sub") t.library in
+  let sub_net_of_parent = Hashtbl.create 64 in
+  let in_nets =
+    List.map
+      (fun n ->
+        let port = Printf.sprintf "bi%d" n in
+        let sid = Builder.add_pi b port in
+        Hashtbl.add sub_net_of_parent n sid;
+        (port, n))
+      in_parent_nets
+  in
+  (* Instantiate region gates in parent topological order. *)
+  let order = topo_order t in
+  Array.iter
+    (fun gid ->
+      if IntSet.mem gid rset then begin
+        let g = t.gates.(gid) in
+        let fanins =
+          Array.map
+            (fun n ->
+              match t.nets.(n).driver with
+              | Const v -> Builder.const_net b v
+              | Pi _ | Gate_out _ -> Hashtbl.find sub_net_of_parent n)
+            g.fanins
+        in
+        let out = Builder.add_gate b ~name:g.gate_name ~cell:g.cell.Cell.name fanins in
+        Hashtbl.add sub_net_of_parent g.fanout out
+      end)
+    order;
+  let out_nets =
+    List.map
+      (fun n ->
+        let port = Printf.sprintf "bo%d" n in
+        Builder.mark_po b port (Hashtbl.find sub_net_of_parent n);
+        (port, n))
+      out_parent_nets
+  in
+  (Builder.finish b, { in_nets; out_nets })
+
+let replace t ~gates:region ~sub boundary =
+  let rset = IntSet.of_list region in
+  let sub_po_net port =
+    match Array.find_opt (fun (p, _) -> p = port) sub.pos with
+    | Some (_, n) -> n
+    | None -> invalid_arg (Printf.sprintf "Netlist.replace: sub lacks PO %s" port)
+  in
+  let parent_of_sub_pi =
+    (* sub PI index -> parent net id *)
+    Array.map
+      (fun (port, _) ->
+        match List.assoc_opt port boundary.in_nets with
+        | Some n -> n
+        | None -> invalid_arg (Printf.sprintf "Netlist.replace: no boundary for sub PI %s" port))
+      sub.pis
+  in
+  let alias_of_parent = Hashtbl.create 16 in
+  (* parent net -> sub net providing its value *)
+  List.iter (fun (port, n) -> Hashtbl.replace alias_of_parent n (sub_po_net port)) boundary.out_nets;
+  let parent_survives n =
+    match t.nets.(n).driver with Gate_out g -> not (IntSet.mem g rset) | Pi _ | Const _ -> true
+  in
+  (* Allocate new net ids: surviving parent nets first, then sub nets that are
+     not wired straight to a sub PI. *)
+  let next = ref 0 in
+  let new_of_parent = Array.make (num_nets t) (-1) in
+  Array.iteri
+    (fun i _ ->
+      if parent_survives i then begin
+        new_of_parent.(i) <- !next;
+        incr next
+      end)
+    t.nets;
+  let new_of_sub = Array.make (num_nets sub) (-1) in
+  Array.iteri
+    (fun i n ->
+      match n.driver with
+      | Pi k -> new_of_sub.(i) <- new_of_parent.(parent_of_sub_pi.(k))
+      | Gate_out _ | Const _ ->
+          new_of_sub.(i) <- !next;
+          incr next)
+    sub.nets;
+  let resolve_parent n =
+    if parent_survives n then new_of_parent.(n)
+    else
+      match Hashtbl.find_opt alias_of_parent n with
+      | Some sn -> new_of_sub.(sn)
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Netlist.replace: net %s is dead but still referenced"
+               t.nets.(n).net_name)
+  in
+  (* New gate ids: kept parent gates in order, then sub gates. *)
+  let kept = Array.to_list t.gates |> List.filter (fun g -> not (IntSet.mem g.gate_id rset)) in
+  let new_gate_of_parent = Hashtbl.create 64 in
+  List.iteri (fun i g -> Hashtbl.add new_gate_of_parent g.gate_id i) kept;
+  let n_kept = List.length kept in
+  let gates_list =
+    List.mapi
+      (fun i g ->
+        {
+          gate_id = i;
+          gate_name = g.gate_name;
+          cell = g.cell;
+          fanins = Array.map resolve_parent g.fanins;
+          fanout = new_of_parent.(g.fanout);
+        })
+      kept
+    @ (Array.to_list sub.gates
+      |> List.mapi (fun i g ->
+             {
+               gate_id = n_kept + i;
+               gate_name = Printf.sprintf "%s_r%d" g.gate_name (n_kept + i);
+               cell = g.cell;
+               fanins = Array.map (fun n -> new_of_sub.(n)) g.fanins;
+               fanout = new_of_sub.(g.fanout);
+             }))
+  in
+  let gates = Array.of_list gates_list in
+  let num_new_nets = !next in
+  (* Net records. *)
+  let names = Array.make num_new_nets "" in
+  let drivers = Array.make num_new_nets (Const false) in
+  Array.iteri
+    (fun i n ->
+      if parent_survives i then begin
+        let id = new_of_parent.(i) in
+        names.(id) <- n.net_name;
+        drivers.(id) <-
+          (match n.driver with
+          | Pi k -> Pi k
+          | Const v -> Const v
+          | Gate_out g -> Gate_out (Hashtbl.find new_gate_of_parent g))
+      end)
+    t.nets;
+  Array.iteri
+    (fun i n ->
+      match n.driver with
+      | Pi _ -> ()
+      | Const v ->
+          let id = new_of_sub.(i) in
+          names.(id) <- Printf.sprintf "%s_r%d" n.net_name id;
+          drivers.(id) <- Const v
+      | Gate_out g ->
+          let id = new_of_sub.(i) in
+          names.(id) <- Printf.sprintf "%s_r%d" n.net_name id;
+          drivers.(id) <- Gate_out (n_kept + g))
+    sub.nets;
+  let sinks = compute_sinks ~num_nets:num_new_nets ~gates in
+  let nets =
+    Array.init num_new_nets (fun i ->
+        { net_id = i; net_name = names.(i); driver = drivers.(i); sinks = sinks.(i) })
+  in
+  let result =
+    {
+      name = t.name;
+      library = t.library;
+      pis = Array.map (fun (p, n) -> (p, new_of_parent.(n))) t.pis;
+      pos = Array.map (fun (p, n) -> (p, resolve_parent n)) t.pos;
+      gates;
+      nets;
+    }
+  in
+  validate result;
+  result
+
+let pp_summary ppf t =
+  Format.fprintf ppf "%s: %d PIs, %d POs, %d gates (%d seq), %d nets, area %.1f"
+    t.name (Array.length t.pis) (Array.length t.pos) (num_gates t)
+    (List.length (seq_gates t)) (num_nets t) (total_area t)

@@ -1,0 +1,89 @@
+let write ppf (t : Netlist.t) =
+  Format.fprintf ppf "circuit %s@." t.name;
+  Array.iter (fun (p, _) -> Format.fprintf ppf "input %s@." p) t.pis;
+  let net_token n =
+    let nn = t.nets.(n) in
+    match nn.Netlist.driver with
+    | Netlist.Const false -> "const0"
+    | Netlist.Const true -> "const1"
+    | Netlist.Pi _ | Netlist.Gate_out _ -> nn.Netlist.net_name
+  in
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      Format.fprintf ppf "gate %s %s %s" g.cell.Cell.name g.gate_name (net_token g.fanout);
+      Array.iter (fun n -> Format.fprintf ppf " %s" (net_token n)) g.fanins;
+      Format.fprintf ppf "@.")
+    t.gates;
+  Array.iter (fun (p, n) -> Format.fprintf ppf "output %s %s@." p (net_token n)) t.pos;
+  Format.fprintf ppf "end@."
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  write ppf t;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let read ~library text =
+  let lines = String.split_on_char '\n' text in
+  let b = ref None in
+  let nets = Hashtbl.create 256 in
+  let builder () =
+    match !b with Some x -> x | None -> failwith "Netlist_io.read: missing circuit header"
+  in
+  let net_of_token declare tok =
+    let bb = builder () in
+    match tok with
+    | "const0" -> Netlist.Builder.const_net bb false
+    | "const1" -> Netlist.Builder.const_net bb true
+    | _ -> (
+        match Hashtbl.find_opt nets tok with
+        | Some n -> n
+        | None ->
+            if not declare then failwith ("Netlist_io.read: unknown net " ^ tok);
+            let n = Netlist.Builder.declare_net bb tok in
+            Hashtbl.add nets tok n;
+            n)
+  in
+  let lineno = ref 0 in
+  let finished = ref None in
+  List.iter
+    (fun raw ->
+      incr lineno;
+      if !finished = None then begin
+        let line = String.trim raw in
+        if line <> "" && line.[0] <> '#' then begin
+          let words = String.split_on_char ' ' line |> List.filter (fun w -> w <> "") in
+          try
+            match words with
+            | [ "circuit"; name ] -> b := Some (Netlist.Builder.create ~name library)
+            | [ "input"; port ] ->
+                let n = Netlist.Builder.add_pi (builder ()) port in
+                Hashtbl.add nets port n
+            | "gate" :: cell :: inst :: out :: ins ->
+                let outn = net_of_token true out in
+                let fanins = Array.of_list (List.map (net_of_token true) ins) in
+                Netlist.Builder.add_gate_driving (builder ()) ~name:inst ~cell fanins outn
+            | [ "output"; port; nettok ] ->
+                Netlist.Builder.mark_po (builder ()) port (net_of_token true nettok)
+            | [ "end" ] -> finished := Some (Netlist.Builder.finish (builder ()))
+            | _ -> failwith "unrecognized line"
+          with
+          | Failure msg -> failwith (Printf.sprintf "Netlist_io.read: line %d: %s" !lineno msg)
+          | Invalid_argument msg ->
+              failwith (Printf.sprintf "Netlist_io.read: line %d: %s" !lineno msg)
+          | Not_found ->
+              failwith (Printf.sprintf "Netlist_io.read: line %d: unknown cell" !lineno)
+        end
+      end)
+    lines;
+  match !finished with
+  | Some t -> t
+  | None -> failwith "Netlist_io.read: missing 'end'"
+
+let read_file ~library path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  read ~library text

@@ -1,0 +1,23 @@
+(** Reading and writing netlists in a simple structural text format.
+
+    The format is line-based:
+    {v
+    circuit <name>
+    input <port>
+    gate <cell> <instance> <out-net> <in-net> ...
+    output <port> <net>
+    end
+    v}
+    Net names are arbitrary tokens; the reserved tokens [const0] and [const1]
+    denote constant nets.  Gates may appear in any order (forward references
+    are resolved), so sequential feedback loops round-trip. *)
+
+val write : Format.formatter -> Netlist.t -> unit
+
+val to_string : Netlist.t -> string
+
+val read : library:Library.t -> string -> Netlist.t
+(** Parse from a string.  @raise Failure with a line number on syntax or
+    consistency errors. *)
+
+val read_file : library:Library.t -> string -> Netlist.t

@@ -1,0 +1,354 @@
+module Builder = Netlist.Builder
+
+exception Parse_error of int * string
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let legal_ident s =
+  let ok_first c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' in
+  let ok c = ok_first c || (c >= '0' && c <= '9') || c = '$' in
+  s <> ""
+  && ok_first s.[0]
+  && String.for_all ok s
+
+let sanitize used s =
+  let base =
+    if legal_ident s then s
+    else begin
+      let b = Bytes.of_string s in
+      Bytes.iteri
+        (fun i c ->
+          let ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' in
+          if not ok then Bytes.set b i '_')
+        b;
+      let s' = Bytes.to_string b in
+      if s' = "" || not (legal_ident s') then "n_" ^ s' else s'
+    end
+  in
+  let rec unique candidate k =
+    if Hashtbl.mem used candidate then unique (Printf.sprintf "%s_%d" base k) (k + 1)
+    else begin
+      Hashtbl.add used candidate ();
+      candidate
+    end
+  in
+  unique base 0
+
+let write ppf (t : Netlist.t) =
+  let used = Hashtbl.create 256 in
+  List.iter (fun k -> Hashtbl.add used k ())
+    [ "module"; "endmodule"; "input"; "output"; "wire"; "assign" ];
+  (* stable names for nets, ports, instances *)
+  let net_name = Array.make (Netlist.num_nets t) "" in
+  Array.iter
+    (fun (nn : Netlist.net) ->
+      net_name.(nn.Netlist.net_id) <-
+        (match nn.Netlist.driver with
+        | Netlist.Const false -> "1'b0"
+        | Netlist.Const true -> "1'b1"
+        | Netlist.Pi _ | Netlist.Gate_out _ -> sanitize used nn.Netlist.net_name))
+    t.Netlist.nets;
+  let pi_port k = net_name.(snd t.Netlist.pis.(k)) in
+  let po_ports = Array.map (fun (p, _) -> sanitize used p) t.Netlist.pos in
+  let inst_names =
+    Array.map (fun (g : Netlist.gate) -> sanitize used g.Netlist.gate_name) t.Netlist.gates
+  in
+  let mname = if legal_ident t.Netlist.name then t.Netlist.name else "top" in
+  let ports =
+    Array.to_list (Array.mapi (fun k _ -> pi_port k) t.Netlist.pis)
+    @ Array.to_list po_ports
+  in
+  Format.fprintf ppf "module %s (%s);@." mname (String.concat ", " ports);
+  Array.iteri (fun k _ -> Format.fprintf ppf "  input %s;@." (pi_port k)) t.Netlist.pis;
+  Array.iter (fun p -> Format.fprintf ppf "  output %s;@." p) po_ports;
+  Array.iter
+    (fun (nn : Netlist.net) ->
+      match nn.Netlist.driver with
+      | Netlist.Gate_out _ -> Format.fprintf ppf "  wire %s;@." net_name.(nn.Netlist.net_id)
+      | Netlist.Pi _ | Netlist.Const _ -> ())
+    t.Netlist.nets;
+  Array.iteri
+    (fun gi (g : Netlist.gate) ->
+      let c = g.Netlist.cell in
+      let conns =
+        Array.to_list
+          (Array.mapi
+             (fun pin fn -> Printf.sprintf ".%s(%s)" c.Cell.inputs.(pin) net_name.(fn))
+             g.Netlist.fanins)
+        @ [ Printf.sprintf ".%s(%s)" c.Cell.output net_name.(g.Netlist.fanout) ]
+      in
+      Format.fprintf ppf "  %s %s (%s);@." c.Cell.name inst_names.(gi) (String.concat ", " conns))
+    t.Netlist.gates;
+  Array.iteri
+    (fun k (_, nid) -> Format.fprintf ppf "  assign %s = %s;@." po_ports.(k) net_name.(nid))
+    t.Netlist.pos;
+  Format.fprintf ppf "endmodule@."
+
+let to_string t =
+  let buf = Buffer.create 8192 in
+  let ppf = Format.formatter_of_buffer buf in
+  write ppf t;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type token = Ident of string | Punct of char | Const of bool
+
+let tokenize text =
+  let tokens = ref [] in
+  let line = ref 1 in
+  let n = String.length text in
+  let i = ref 0 in
+  let fail msg = raise (Parse_error (!line, msg)) in
+  while !i < n do
+    let c = text.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && text.[!i + 1] = '/' then begin
+      while !i < n && text.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '/' && !i + 1 < n && text.[!i + 1] = '*' then begin
+      i := !i + 2;
+      let closed = ref false in
+      while (not !closed) && !i + 1 < n do
+        if text.[!i] = '\n' then incr line;
+        if text.[!i] = '*' && text.[!i + 1] = '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if not !closed then fail "unterminated comment"
+    end
+    else if c = '1' && !i + 3 < n && String.sub text !i 3 = "1'b" then begin
+      let v = text.[!i + 3] in
+      if v <> '0' && v <> '1' then fail "bad constant literal";
+      tokens := (!line, Const (v = '1')) :: !tokens;
+      i := !i + 4
+    end
+    else if
+      (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '\\'
+    then begin
+      (* escaped identifiers: \foo..<space> *)
+      let start = !i + if c = '\\' then 1 else 0 in
+      let j = ref start in
+      if c = '\\' then begin
+        while !j < n && text.[!j] <> ' ' && text.[!j] <> '\n' do
+          incr j
+        done
+      end
+      else
+        while
+          !j < n
+          && ((text.[!j] >= 'a' && text.[!j] <= 'z')
+             || (text.[!j] >= 'A' && text.[!j] <= 'Z')
+             || (text.[!j] >= '0' && text.[!j] <= '9')
+             || text.[!j] = '_' || text.[!j] = '$')
+        do
+          incr j
+        done;
+      tokens := (!line, Ident (String.sub text start (!j - start))) :: !tokens;
+      i := !j + if c = '\\' then 1 else 0
+    end
+    else if String.contains "(),;.=" c then begin
+      tokens := (!line, Punct c) :: !tokens;
+      incr i
+    end
+    else fail (Printf.sprintf "unexpected character %C" c)
+  done;
+  List.rev !tokens
+
+type instance = {
+  i_line : int;
+  i_cell : string;
+  i_name : string;
+  i_conns : (string * [ `Net of string | `Const of bool ]) list;
+}
+
+let read ~library text =
+  let tokens = ref (tokenize text) in
+  let fail line msg = raise (Parse_error (line, msg)) in
+  let peek () = match !tokens with [] -> None | t :: _ -> Some t in
+  let next () =
+    match !tokens with
+    | [] -> fail 0 "unexpected end of file"
+    | t :: rest ->
+        tokens := rest;
+        t
+  in
+  let expect_punct c =
+    match next () with
+    | _, Punct c' when c' = c -> ()
+    | line, _ -> fail line (Printf.sprintf "expected %C" c)
+  in
+  let expect_ident () =
+    match next () with
+    | _, Ident s -> s
+    | line, _ -> fail line "expected identifier"
+  in
+  (* header *)
+  (match next () with
+  | _, Ident "module" -> ()
+  | line, _ -> fail line "expected module");
+  let _module_name = expect_ident () in
+  expect_punct '(';
+  let rec port_list acc =
+    match next () with
+    | _, Punct ')' -> List.rev acc
+    | _, Ident p -> (
+        match peek () with
+        | Some (_, Punct ',') ->
+            ignore (next ());
+            port_list (p :: acc)
+        | _ -> port_list (p :: acc))
+    | line, _ -> fail line "bad port list"
+  in
+  let _ports = port_list [] in
+  expect_punct ';';
+  (* body *)
+  let inputs = ref [] and outputs = ref [] and wires = ref [] in
+  let instances = ref [] and assigns = ref [] in
+  let rec decl_list acc =
+    let name = expect_ident () in
+    match next () with
+    | _, Punct ',' -> decl_list (name :: acc)
+    | _, Punct ';' -> List.rev (name :: acc)
+    | line, _ -> fail line "bad declaration list"
+  in
+  let rec body () =
+    match next () with
+    | _, Ident "endmodule" -> ()
+    | _, Ident "input" ->
+        inputs := !inputs @ decl_list [];
+        body ()
+    | _, Ident "output" ->
+        outputs := !outputs @ decl_list [];
+        body ()
+    | _, Ident "wire" ->
+        wires := !wires @ decl_list [];
+        body ()
+    | line, Ident "assign" ->
+        let lhs = expect_ident () in
+        (match next () with
+        | _, Punct '=' -> ()
+        | l, _ -> fail l "expected =");
+        let rhs =
+          match next () with
+          | _, Ident r -> `Net r
+          | _, Const b -> `Const b
+          | l, _ -> fail l "expected net or constant"
+        in
+        expect_punct ';';
+        assigns := (line, lhs, rhs) :: !assigns;
+        body ()
+    | line, Ident cell ->
+        let inst = expect_ident () in
+        expect_punct '(';
+        let rec conns acc =
+          match next () with
+          | _, Punct ')' -> List.rev acc
+          | _, Punct ',' -> conns acc
+          | _, Punct '.' ->
+              let pin = expect_ident () in
+              expect_punct '(';
+              let target =
+                match next () with
+                | _, Ident nm -> `Net nm
+                | _, Const b -> `Const b
+                | l, _ -> fail l "expected net or constant"
+              in
+              expect_punct ')';
+              conns ((pin, target) :: acc)
+          | l, _ -> fail l "bad connection list"
+        in
+        let cs = conns [] in
+        expect_punct ';';
+        instances := { i_line = line; i_cell = cell; i_name = inst; i_conns = cs } :: !instances;
+        body ()
+    | line, _ -> fail line "unexpected token in module body"
+  in
+  body ();
+  let instances = List.rev !instances in
+  (* Resolve assign aliases: canonical name per net name. *)
+  let alias = Hashtbl.create 16 in
+  List.iter
+    (fun (line, lhs, rhs) ->
+      match rhs with
+      | `Net r ->
+          if Hashtbl.mem alias lhs then fail line ("multiple assigns to " ^ lhs);
+          Hashtbl.add alias lhs r
+      | `Const b -> Hashtbl.add alias lhs (if b then "1'b1" else "1'b0"))
+    !assigns;
+  let rec canonical seen name =
+    if List.mem name seen then fail 0 ("assign cycle through " ^ name);
+    match Hashtbl.find_opt alias name with
+    | Some next_name -> canonical (name :: seen) next_name
+    | None -> name
+  in
+  (* Build the netlist. *)
+  let b = Builder.create ~name:_module_name library in
+  let nets = Hashtbl.create 256 in
+  let net_of name =
+    let name = canonical [] name in
+    if name = "1'b0" then Builder.const_net b false
+    else if name = "1'b1" then Builder.const_net b true
+    else
+      match Hashtbl.find_opt nets name with
+      | Some n -> n
+      | None ->
+          let n = Builder.declare_net b name in
+          Hashtbl.add nets name n;
+          n
+  in
+  List.iter
+    (fun p ->
+      let n = Builder.add_pi b p in
+      if Hashtbl.mem nets p then raise (Parse_error (0, "duplicate input " ^ p));
+      Hashtbl.add nets p n)
+    !inputs;
+  List.iter
+    (fun inst ->
+      match Library.find_opt library inst.i_cell with
+      | None -> fail inst.i_line ("unknown cell " ^ inst.i_cell)
+      | Some cell ->
+          let pin_target name =
+            match List.assoc_opt name inst.i_conns with
+            | Some t -> t
+            | None -> fail inst.i_line (Printf.sprintf "%s: missing pin %s" inst.i_name name)
+          in
+          let fanins =
+            Array.map
+              (fun pin ->
+                match pin_target pin with
+                | `Net nm -> net_of nm
+                | `Const v -> Builder.const_net b v)
+              cell.Cell.inputs
+          in
+          (match pin_target cell.Cell.output with
+          | `Const _ -> fail inst.i_line (inst.i_name ^ ": output tied to a constant")
+          | `Net nm ->
+              let out = net_of nm in
+              (try Builder.add_gate_driving b ~name:inst.i_name ~cell:inst.i_cell fanins out
+               with Invalid_argument msg -> fail inst.i_line msg));
+          if List.length inst.i_conns <> Array.length cell.Cell.inputs + 1 then
+            fail inst.i_line (inst.i_name ^ ": unexpected extra connections"))
+    instances;
+  List.iter (fun p -> Builder.mark_po b p (net_of p)) !outputs;
+  try Builder.finish b with Failure msg -> raise (Parse_error (0, msg))
+
+let read_file ~library path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  read ~library text

@@ -1,0 +1,34 @@
+(** Structural Verilog interchange.
+
+    Writes a netlist as a flat gate-level Verilog module with named port
+    connections (the format every commercial P&R / ATPG tool consumes), and
+    reads the same subset back:
+
+    {v
+    module tv80 (di0, di1, ..., alu0, ...);
+      input di0;
+      output alu0;
+      wire n42;
+      NAND2X1 g17 (.A(n42), .B(di0), .Y(n43));
+      DFFPOSX1 acc_q0 (.D(n91), .Q(acc0));
+      ...
+    endmodule
+    v}
+
+    Supported on read: one module; [input]/[output]/[wire] declarations
+    (scalar, comma-separated); instances of library cells with named
+    connections; [1'b0]/[1'b1] constant connections; [//] and [/* */]
+    comments.  Unsupported constructs raise {!Parse_error} with a line
+    number. *)
+
+exception Parse_error of int * string
+
+val write : Format.formatter -> Netlist.t -> unit
+
+val to_string : Netlist.t -> string
+
+val read : library:Library.t -> string -> Netlist.t
+(** @raise Parse_error on syntax errors, unknown cells or pins,
+    multiply-driven or undriven wires. *)
+
+val read_file : library:Library.t -> string -> Netlist.t

@@ -1,0 +1,1 @@
+lib/sat/tseitin.ml: Array Dfm_logic List Solver

@@ -1,0 +1,23 @@
+(** DIMACS CNF interchange for the SAT solver.
+
+    Makes [dfm_sat] usable as a standalone solver on standard benchmark
+    files and lets miters built here be exported for cross-checking with
+    external solvers. *)
+
+exception Parse_error of int * string
+
+val parse : string -> int * int list list
+(** [parse text] reads a DIMACS [p cnf] body and returns
+    (variable count, clauses).  Comments ([c] lines) and [%]/[0] trailers
+    are tolerated.  @raise Parse_error with a line number on bad syntax. *)
+
+val load : Solver.t -> string -> unit
+(** Parse and add every clause to a solver. *)
+
+val read_file : Solver.t -> string -> unit
+
+val to_string : nvars:int -> int list list -> string
+(** Render clauses in DIMACS format. *)
+
+val solution_to_string : Solver.t -> Solver.result -> string
+(** A standard ["s SATISFIABLE"/"v ..."] result block. *)

@@ -1,0 +1,499 @@
+(* CDCL SAT solver.
+
+   Internal literal encoding: variable v (1-based external) has index
+   iv = v - 1; positive literal = 2*iv, negative literal = 2*iv + 1.
+   Negation is [lxor 1].
+
+   Invariants maintained by the search:
+   - every clause of size >= 2 has its two watched literals in
+     positions 0 and 1 of the clause array;
+   - a watched literal is moved only when it becomes false and no
+     other non-false literal can replace it;
+   - [trail] holds assigned literals in assignment order, with
+     [trail_lim] marking decision-level boundaries. *)
+
+type clause = {
+  lits : int array;
+  mutable activity : float;
+  learnt : bool;
+  mutable deleted : bool;
+}
+
+type result = Sat | Unsat | Unknown
+
+type t = {
+  mutable nvars : int;
+  mutable clauses : clause list;
+  mutable nclauses : int;
+  mutable learnts : clause list;
+  mutable watches : clause list array;  (* indexed by internal literal *)
+  mutable assign : int array;           (* per var: -1 unknown, 0 false, 1 true *)
+  mutable level : int array;
+  mutable reason : clause option array;
+  mutable saved_phase : bool array;
+  mutable activity : float array;
+  mutable var_inc : float;
+  mutable trail : int array;
+  mutable trail_len : int;
+  mutable trail_lim : int list;         (* stack of trail lengths at decisions *)
+  mutable qhead : int;
+  mutable unsat : bool;
+  mutable conflicts : int;
+  mutable order_dirty : bool;
+  mutable cla_inc : float;
+  mutable n_learnts : int;
+  mutable max_learnts : int;
+}
+
+let create () =
+  {
+    nvars = 0;
+    clauses = [];
+    nclauses = 0;
+    learnts = [];
+    watches = Array.make 2 [];
+    assign = Array.make 1 (-1);
+    level = Array.make 1 0;
+    reason = Array.make 1 None;
+    saved_phase = Array.make 1 false;
+    activity = Array.make 1 0.0;
+    var_inc = 1.0;
+    trail = Array.make 1 0;
+    trail_len = 0;
+    trail_lim = [];
+    qhead = 0;
+    unsat = false;
+    conflicts = 0;
+    order_dirty = true;
+    cla_inc = 1.0;
+    n_learnts = 0;
+    max_learnts = 4000;
+  }
+
+let num_vars s = s.nvars
+let num_clauses s = s.nclauses
+let num_conflicts s = s.conflicts
+
+let grow_arrays s n =
+  let old = Array.length s.assign in
+  if n > old then begin
+    let nn = max n (2 * old) in
+    let g a fill =
+      let b = Array.make nn fill in
+      Array.blit a 0 b 0 old;
+      b
+    in
+    s.assign <- g s.assign (-1);
+    s.level <- g s.level 0;
+    s.reason <- g s.reason None;
+    s.saved_phase <- g s.saved_phase false;
+    s.activity <- g s.activity 0.0;
+    s.trail <- g s.trail 0;
+    let oldw = Array.length s.watches in
+    if 2 * nn > oldw then begin
+      let w = Array.make (2 * nn) [] in
+      Array.blit s.watches 0 w 0 oldw;
+      s.watches <- w
+    end
+  end
+
+let ensure_vars s n =
+  if n > s.nvars then begin
+    grow_arrays s n;
+    s.nvars <- n
+  end
+
+let new_var s =
+  ensure_vars s (s.nvars + 1);
+  s.nvars
+
+let int_lit ext =
+  let v = abs ext - 1 in
+  if ext > 0 then 2 * v else (2 * v) + 1
+
+let ext_of_int l =
+  let v = (l / 2) + 1 in
+  if l land 1 = 0 then v else -v
+
+let lit_var l = l / 2
+let lit_neg l = l lxor 1
+
+(* Value of an internal literal: -1 unknown, 0 false, 1 true. *)
+let lvalue s l =
+  let a = s.assign.(lit_var l) in
+  if a < 0 then -1 else if l land 1 = 0 then a else 1 - a
+
+let bump_var s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 0 to s.nvars - 1 do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end
+
+let decay_activity s = s.var_inc <- s.var_inc /. 0.95
+
+let enqueue s l reason =
+  let v = lit_var l in
+  s.assign.(v) <- (if l land 1 = 0 then 1 else 0);
+  s.level.(v) <- List.length s.trail_lim;
+  s.reason.(v) <- reason;
+  s.saved_phase.(v) <- l land 1 = 0;
+  s.trail.(s.trail_len) <- l;
+  s.trail_len <- s.trail_len + 1
+
+(* Propagate all pending assignments; return a conflicting clause if any. *)
+let propagate s =
+  let conflict = ref None in
+  while !conflict = None && s.qhead < s.trail_len do
+    let l = s.trail.(s.qhead) in
+    s.qhead <- s.qhead + 1;
+    let falsified = lit_neg l in
+    let ws = s.watches.(falsified) in
+    s.watches.(falsified) <- [];
+    let rec go = function
+      | [] -> ()
+      | c :: rest when c.deleted -> go rest  (* lazily unhooked *)
+      | c :: rest -> (
+          (* Ensure the falsified literal is at position 1. *)
+          if c.lits.(0) = falsified then begin
+            c.lits.(0) <- c.lits.(1);
+            c.lits.(1) <- falsified
+          end;
+          let first = c.lits.(0) in
+          if lvalue s first = 1 then begin
+            (* Clause satisfied: keep watching. *)
+            s.watches.(falsified) <- c :: s.watches.(falsified);
+            go rest
+          end
+          else begin
+            (* Look for a new watch. *)
+            let n = Array.length c.lits in
+            let found = ref false in
+            let k = ref 2 in
+            while (not !found) && !k < n do
+              if lvalue s c.lits.(!k) <> 0 then begin
+                c.lits.(1) <- c.lits.(!k);
+                c.lits.(!k) <- falsified;
+                s.watches.(c.lits.(1)) <- c :: s.watches.(c.lits.(1));
+                found := true
+              end;
+              incr k
+            done;
+            if !found then go rest
+            else begin
+              (* No new watch: clause is unit or conflicting. *)
+              s.watches.(falsified) <- c :: s.watches.(falsified);
+              if lvalue s first = 0 then begin
+                conflict := Some c;
+                (* Re-add remaining watchers untouched. *)
+                List.iter
+                  (fun c' -> s.watches.(falsified) <- c' :: s.watches.(falsified))
+                  rest
+              end
+              else begin
+                enqueue s first (Some c);
+                go rest
+              end
+            end
+          end)
+    in
+    go ws
+  done;
+  !conflict
+
+let decision_level s = List.length s.trail_lim
+
+let new_decision_level s = s.trail_lim <- s.trail_len :: s.trail_lim
+
+let backtrack s target_level =
+  while decision_level s > target_level do
+    match s.trail_lim with
+    | [] -> assert false
+    | lim :: rest ->
+        for i = s.trail_len - 1 downto lim do
+          let v = lit_var s.trail.(i) in
+          s.assign.(v) <- -1;
+          s.reason.(v) <- None
+        done;
+        s.trail_len <- lim;
+        s.trail_lim <- rest
+  done;
+  s.qhead <- min s.qhead s.trail_len;
+  s.qhead <- s.trail_len;
+  s.order_dirty <- true
+
+(* First-UIP conflict analysis.  Returns (learned clause lits with the
+   asserting literal first, backtrack level). *)
+let bump_clause s (c : clause) =
+  if c.learnt then begin
+    c.activity <- c.activity +. s.cla_inc;
+    if c.activity > 1e20 then begin
+      List.iter (fun (c' : clause) -> c'.activity <- c'.activity *. 1e-20) s.learnts;
+      s.cla_inc <- s.cla_inc *. 1e-20
+    end
+  end
+
+let analyze s conflict =
+  let seen = Hashtbl.create 64 in
+  let learnt = ref [] in
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let idx = ref (s.trail_len - 1) in
+  let cur_level = decision_level s in
+  let reason_lits c skip =
+    bump_clause s c;
+    Array.to_list c.lits |> List.filter (fun l -> l <> skip)
+  in
+  let handle_lit q =
+    let v = lit_var q in
+    if (not (Hashtbl.mem seen v)) && s.level.(v) > 0 then begin
+      Hashtbl.add seen v ();
+      bump_var s v;
+      if s.level.(v) = cur_level then incr counter
+      else learnt := q :: !learnt
+    end
+  in
+  let clause = ref (reason_lits conflict (-1)) in
+  let continue = ref true in
+  while !continue do
+    List.iter handle_lit !clause;
+    (* Find the next seen literal on the trail. *)
+    let rec next_seen i =
+      let v = lit_var s.trail.(i) in
+      if Hashtbl.mem seen v then i else next_seen (i - 1)
+    in
+    idx := next_seen !idx;
+    p := s.trail.(!idx);
+    let v = lit_var !p in
+    Hashtbl.remove seen v;
+    decr counter;
+    idx := !idx - 1;
+    if !counter = 0 then continue := false
+    else begin
+      match s.reason.(v) with
+      | Some c -> clause := reason_lits c !p
+      | None -> assert false
+    end
+  done;
+  let asserting = lit_neg !p in
+  (* Conflict-clause minimization (local self-subsumption): a literal whose
+     reason clause's other literals all appear in the learned clause is
+     implied by the rest and can be dropped. *)
+  let in_clause = Hashtbl.create 16 in
+  List.iter (fun l -> Hashtbl.replace in_clause (lit_var l) ()) !learnt;
+  let removable l =
+    let v = lit_var l in
+    match s.reason.(v) with
+    | None -> false
+    | Some c ->
+        Array.for_all
+          (fun q ->
+            let qv = lit_var q in
+            qv = v || Hashtbl.mem in_clause qv || s.level.(qv) = 0)
+          c.lits
+  in
+  let others = List.filter (fun l -> not (removable l)) !learnt in
+  (* Backtrack level = max level among the other literals. *)
+  let blevel = List.fold_left (fun acc l -> max acc s.level.(lit_var l)) 0 others in
+  (asserting :: others, blevel)
+
+(* Watch lists are indexed by the watched literal itself and are visited
+   by [propagate] when that literal becomes false. *)
+let attach_clause s c =
+  s.watches.(c.lits.(0)) <- c :: s.watches.(c.lits.(0));
+  s.watches.(c.lits.(1)) <- c :: s.watches.(c.lits.(1))
+
+let add_clause s ext_lits =
+  if not s.unsat then begin
+    (* Incremental use: clauses may arrive between solves; strip any leftover
+       search state first so level-0 simplification below stays sound. *)
+    if decision_level s > 0 then backtrack s 0;
+    List.iter (fun l -> ensure_vars s (abs l)) ext_lits;
+    (* Normalize: dedup, drop tautologies. *)
+    let lits = List.sort_uniq compare (List.map int_lit ext_lits) in
+    let taut = List.exists (fun l -> List.mem (lit_neg l) lits) lits in
+    (* Clauses are only ever added at decision level 0, so the current
+       assignment is permanent: literals false now are false forever and can
+       be dropped; a literal true now satisfies the clause for good. *)
+    let satisfied = List.exists (fun l -> lvalue s l = 1) lits in
+    let lits = List.filter (fun l -> lvalue s l <> 0) lits in
+    if not (taut || satisfied) then
+      match lits with
+      | [] -> s.unsat <- true
+      | [ l ] ->
+          (* Unit at level 0: apply immediately if possible. *)
+          (match lvalue s l with
+          | 0 -> s.unsat <- true
+          | 1 -> ()
+          | _ ->
+              enqueue s l None;
+              if propagate s <> None then s.unsat <- true)
+      | l0 :: l1 :: _ ->
+          let c = { lits = Array.of_list lits; activity = 0.0; learnt = false; deleted = false } in
+          ignore l0;
+          ignore l1;
+          s.clauses <- c :: s.clauses;
+          s.nclauses <- s.nclauses + 1;
+          attach_clause s c
+  end
+
+(* Variable order: recompute a sorted candidate list lazily.  For the CNF
+   sizes the ATPG produces (cone-limited miters) this simple strategy is
+   fast enough and much simpler than an indexed heap. *)
+let pick_branch_var s =
+  let best = ref (-1) in
+  let best_act = ref neg_infinity in
+  for v = 0 to s.nvars - 1 do
+    if s.assign.(v) < 0 && s.activity.(v) > !best_act then begin
+      best := v;
+      best_act := s.activity.(v)
+    end
+  done;
+  !best
+
+(* Delete the low-activity half of the learned clauses.  Called only when
+   the trail is at the assumption level; clauses that are the reason for a
+   current assignment are kept (their deletion would orphan the implication
+   graph). *)
+let reduce_learnts s =
+  let is_reason c =
+    let v = lit_var c.lits.(0) in
+    s.assign.(v) >= 0 && s.reason.(v) == Some c
+  in
+  let live = List.filter (fun (c : clause) -> not c.deleted) s.learnts in
+  let sorted = List.sort (fun (a : clause) (b : clause) -> compare a.activity b.activity) live in
+  let n = List.length sorted in
+  List.iteri
+    (fun i (c : clause) ->
+      if i < n / 2 && (not (is_reason c)) && Array.length c.lits > 2 then c.deleted <- true)
+    sorted;
+  s.learnts <- List.filter (fun (c : clause) -> not c.deleted) live;
+  s.n_learnts <- List.length s.learnts
+
+(* Luby sequence (1-based): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
+let rec luby i =
+  let k = ref 1 in
+  while (1 lsl !k) - 1 < i do incr k done;
+  if (1 lsl !k) - 1 = i then 1 lsl (!k - 1)
+  else luby (i - (1 lsl (!k - 1)) + 1)
+
+let solve ?(assumptions = []) ?(max_conflicts = max_int) s =
+  if s.unsat then Unsat
+  else begin
+    List.iter (fun l -> ensure_vars s (abs l)) assumptions;
+    let assumption_lits = List.map int_lit assumptions in
+    let n_assumptions = List.length assumption_lits in
+    backtrack s 0;
+    (match propagate s with
+    | Some _ -> s.unsat <- true
+    | None -> ());
+    if s.unsat then Unsat
+    else begin
+      let result = ref Unknown in
+      let done_ = ref false in
+      let restart_count = ref 0 in
+      let conflicts_at_start = s.conflicts in
+      let conflict_budget_for_restart = ref (100 * luby 1) in
+      let conflicts_this_restart = ref 0 in
+      while not !done_ do
+        match propagate s with
+        | Some confl ->
+            s.conflicts <- s.conflicts + 1;
+            incr conflicts_this_restart;
+            if decision_level s <= n_assumptions then begin
+              (* Conflict within (or below) the assumption levels. *)
+              if decision_level s = 0 then s.unsat <- true;
+              result := Unsat;
+              done_ := true
+            end
+            else if s.conflicts - conflicts_at_start >= max_conflicts then begin
+              result := Unknown;
+              done_ := true
+            end
+            else begin
+              let learnt, blevel = analyze s confl in
+              let blevel = max blevel n_assumptions in
+              backtrack s blevel;
+              (match learnt with
+              | [ l ] when blevel = 0 -> (
+                  match lvalue s l with
+                  | 0 ->
+                      s.unsat <- true;
+                      result := Unsat;
+                      done_ := true
+                  | 1 -> ()
+                  | _ -> enqueue s l None)
+              | l0 :: _ :: _ ->
+                  let arr = Array.of_list learnt in
+                  (* Put a highest-level "other" literal in position 1 so the
+                     watch invariant holds after backtracking. *)
+                  let hi = ref 1 in
+                  for k = 2 to Array.length arr - 1 do
+                    if s.level.(lit_var arr.(k)) > s.level.(lit_var arr.(!hi)) then hi := k
+                  done;
+                  let tmp = arr.(1) in
+                  arr.(1) <- arr.(!hi);
+                  arr.(!hi) <- tmp;
+                  let c = { lits = arr; activity = s.cla_inc; learnt = true; deleted = false } in
+                  s.learnts <- c :: s.learnts;
+                  s.n_learnts <- s.n_learnts + 1;
+                  attach_clause s c;
+                  enqueue s l0 (Some c)
+              | [ l0 ] -> enqueue s l0 None
+              | [] ->
+                  s.unsat <- true;
+                  result := Unsat;
+                  done_ := true);
+              decay_activity s;
+              s.cla_inc <- s.cla_inc /. 0.999
+            end
+        | None ->
+            if !conflicts_this_restart >= !conflict_budget_for_restart then begin
+              (* Restart. *)
+              conflicts_this_restart := 0;
+              incr restart_count;
+              conflict_budget_for_restart := 100 * luby (!restart_count + 1);
+              backtrack s n_assumptions;
+              if s.n_learnts > s.max_learnts then begin
+                reduce_learnts s;
+                s.max_learnts <- s.max_learnts + (s.max_learnts / 10)
+              end
+            end;
+            (* Place assumptions first. *)
+            if decision_level s < n_assumptions then begin
+              let l = List.nth assumption_lits (decision_level s) in
+              match lvalue s l with
+              | 1 -> new_decision_level s (* already true: dummy level *)
+              | 0 ->
+                  result := Unsat;
+                  done_ := true
+              | _ ->
+                  new_decision_level s;
+                  enqueue s l None
+            end
+            else begin
+              let v = pick_branch_var s in
+              if v < 0 then begin
+                result := Sat;
+                done_ := true
+              end
+              else begin
+                new_decision_level s;
+                let l = if s.saved_phase.(v) then 2 * v else (2 * v) + 1 in
+                enqueue s l None
+              end
+            end
+      done;
+      !result
+    end
+  end
+
+let value s v =
+  if v < 1 || v > s.nvars then invalid_arg "Solver.value";
+  s.assign.(v - 1) = 1
+
+let lit_value s l = if l > 0 then value s l else not (value s (-l))
+
+let _ = ext_of_int

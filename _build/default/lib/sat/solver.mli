@@ -1,0 +1,45 @@
+(** A conflict-driven clause-learning (CDCL) SAT solver.
+
+    This is the decision engine of the ATPG: a fault-detection miter is
+    encoded to CNF and solved here.  SAT yields a test pattern; UNSAT is a
+    proof that the fault is undetectable (the property the whole paper is
+    about).  The implementation is a classic CDCL with two-watched-literal
+    propagation, first-UIP clause learning, VSIDS-style activity-based
+    branching with phase saving, and Luby restarts.
+
+    Literals in the public API are non-zero integers in DIMACS convention:
+    [+v] is variable [v], [-v] its negation, variables start at 1. *)
+
+type t
+
+type result =
+  | Sat
+  | Unsat
+  | Unknown  (** conflict budget exhausted *)
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate and return the next variable index. *)
+
+val num_vars : t -> int
+
+val ensure_vars : t -> int -> unit
+(** Make sure variables [1 .. n] exist. *)
+
+val add_clause : t -> int list -> unit
+(** Add a clause (a disjunction of literals).  Adding the empty clause makes
+    the instance trivially unsatisfiable. *)
+
+val solve : ?assumptions:int list -> ?max_conflicts:int -> t -> result
+(** Solve under optional assumption literals.  [max_conflicts] bounds the
+    search; default is unbounded (the benches rely on full proofs). *)
+
+val value : t -> int -> bool
+(** Value of a variable in the last model.  Only meaningful after [Sat]. *)
+
+val lit_value : t -> int -> bool
+(** Value of a literal in the last model. *)
+
+val num_clauses : t -> int
+val num_conflicts : t -> int

@@ -1,0 +1,49 @@
+let const_true s l = Solver.add_clause s [ l ]
+let const_false s l = Solver.add_clause s [ -l ]
+
+let equal s a b =
+  Solver.add_clause s [ -a; b ];
+  Solver.add_clause s [ a; -b ]
+
+let not_ s ~out a =
+  Solver.add_clause s [ -out; -a ];
+  Solver.add_clause s [ out; a ]
+
+let and_ s ~out = function
+  | [] -> const_true s out
+  | ins ->
+      List.iter (fun i -> Solver.add_clause s [ -out; i ]) ins;
+      Solver.add_clause s (out :: List.map (fun i -> -i) ins)
+
+let or_ s ~out = function
+  | [] -> const_false s out
+  | ins ->
+      List.iter (fun i -> Solver.add_clause s [ out; -i ]) ins;
+      Solver.add_clause s (-out :: ins)
+
+let xor_ s ~out a b =
+  Solver.add_clause s [ -out; a; b ];
+  Solver.add_clause s [ -out; -a; -b ];
+  Solver.add_clause s [ out; -a; b ];
+  Solver.add_clause s [ out; a; -b ]
+
+let mux s ~out ~sel a b =
+  (* sel = 0 -> out = a; sel = 1 -> out = b *)
+  Solver.add_clause s [ sel; -out; a ];
+  Solver.add_clause s [ sel; out; -a ];
+  Solver.add_clause s [ -sel; -out; b ];
+  Solver.add_clause s [ -sel; out; -b ]
+
+let of_truthtable s ~out ins tt =
+  let n = Dfm_logic.Truthtable.arity tt in
+  if Array.length ins <> n then invalid_arg "Tseitin.of_truthtable";
+  (* For each assignment, add a clause forcing [out] to the function value:
+     (/\ lits of the assignment) -> out = value, i.e. a clause with the
+     negated assignment literals plus [out] or [-out]. *)
+  for m = 0 to (1 lsl n) - 1 do
+    let antecedent =
+      List.init n (fun k -> if (m lsr k) land 1 = 1 then -ins.(k) else ins.(k))
+    in
+    let v = Dfm_logic.Truthtable.eval_index tt m in
+    Solver.add_clause s ((if v then out else -out) :: antecedent)
+  done

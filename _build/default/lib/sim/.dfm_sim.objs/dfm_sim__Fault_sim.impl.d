@@ -1,0 +1,1 @@
+lib/sim/fault_sim.ml: Array Dfm_cellmodel Dfm_faults Dfm_logic Dfm_netlist Dfm_util Hashtbl Int64 List Logic_sim

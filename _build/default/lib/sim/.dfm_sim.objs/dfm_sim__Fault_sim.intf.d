@@ -1,0 +1,1 @@
+lib/sim/fault_sim.mli: Dfm_faults Dfm_netlist Logic_sim

@@ -1,0 +1,1 @@
+lib/sim/logic_sim.ml: Array Dfm_logic Dfm_netlist Dfm_util Int64 List

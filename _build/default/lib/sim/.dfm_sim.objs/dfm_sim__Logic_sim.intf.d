@@ -1,0 +1,1 @@
+lib/sim/logic_sim.mli: Dfm_netlist Dfm_util

@@ -1,0 +1,280 @@
+module N = Dfm_netlist.Netlist
+module F = Dfm_faults.Fault
+module Cell = Dfm_netlist.Cell
+
+type t = {
+  ls : Logic_sim.t;
+  topo_pos : int array;     (* gate id -> position in topo order; -1 for seq *)
+  is_observe : bool array;  (* per net *)
+  (* Scratch state, reset after each fault: *)
+  override_ : int64 array;  (* per net: faulty value when touched *)
+  touched : bool array;     (* per net: override valid *)
+  scheduled : bool array;   (* per gate *)
+}
+
+let prepare nl =
+  let ls = Logic_sim.prepare nl in
+  let topo = Logic_sim.topo ls in
+  let topo_pos = Array.make (N.num_gates nl) (-1) in
+  Array.iteri (fun pos gid -> topo_pos.(gid) <- pos) topo;
+  let is_observe = Array.make (N.num_nets nl) false in
+  List.iter (fun (_, n) -> is_observe.(n) <- true) (Logic_sim.observes ls);
+  {
+    ls;
+    topo_pos;
+    is_observe;
+    override_ = Array.make (N.num_nets nl) 0L;
+    touched = Array.make (N.num_nets nl) false;
+    scheduled = Array.make (N.num_gates nl) false;
+  }
+
+let sim t = t.ls
+
+let value t ~good n = if t.touched.(n) then t.override_.(n) else good.(n)
+
+(* Activation word for a set of cell-input minterms at a gate. *)
+let activation_word t ~good ~gate minterms =
+  let nl = Logic_sim.netlist t.ls in
+  let g = N.gate nl gate in
+  let n = Array.length g.N.fanins in
+  let acc = ref 0L in
+  List.iter
+    (fun m ->
+      let term = ref (-1L) in
+      for k = 0 to n - 1 do
+        let w = good.(g.N.fanins.(k)) in
+        term := Int64.logand !term (if (m lsr k) land 1 = 1 then w else Int64.lognot w)
+      done;
+      acc := Int64.logor !acc !term)
+    minterms;
+  !acc
+
+(* Propagate seeded differences through the fanout cones and return the word
+   of patterns with a difference at an observable point, plus the per-point
+   difference words.  [pin_force] is an optional (gate, pin, word) triple
+   overriding a single gate input. *)
+let propagate_full t ~good ~seeds ~pin_force =
+  let nl = Logic_sim.netlist t.ls in
+  let heap : int Dfm_util.Heap.t = Dfm_util.Heap.create () in
+  let touched_list = ref [] in
+  let scheduled_list = ref [] in
+  let detect = ref 0L in
+  let per_point : (int, int64) Hashtbl.t = Hashtbl.create 8 in
+  let set_net n w =
+    if not t.touched.(n) then begin
+      t.touched.(n) <- true;
+      touched_list := n :: !touched_list
+    end;
+    t.override_.(n) <- w;
+    if t.is_observe.(n) then begin
+      let diff = Int64.logxor w good.(n) in
+      Hashtbl.replace per_point n diff;
+      detect := Int64.logor !detect diff
+    end
+  in
+  let schedule_gate g =
+    if t.topo_pos.(g) >= 0 && not t.scheduled.(g) then begin
+      t.scheduled.(g) <- true;
+      scheduled_list := g :: !scheduled_list;
+      Dfm_util.Heap.push heap (float_of_int t.topo_pos.(g)) g
+    end
+  in
+  List.iter
+    (fun (n, w) ->
+      if w <> good.(n) || true then begin
+        set_net n w;
+        if w <> good.(n) then
+          List.iter (fun (g, _) -> schedule_gate g) (N.net nl n).N.sinks
+      end)
+    seeds;
+  let scratch = Array.make 8 0L in
+  let continue = ref true in
+  while !continue do
+    match Dfm_util.Heap.pop heap with
+    | None -> continue := false
+    | Some (_, gid) ->
+        t.scheduled.(gid) <- false;
+        let g = N.gate nl gid in
+        let arity = Array.length g.N.fanins in
+        for k = 0 to arity - 1 do
+          scratch.(k) <- value t ~good g.N.fanins.(k)
+        done;
+        (match pin_force with
+        | Some (fg, fp, w) when fg = gid -> scratch.(fp) <- w
+        | Some _ | None -> ());
+        let out = ref 0L in
+        let f = g.N.cell.Cell.func in
+        for m = 0 to (1 lsl arity) - 1 do
+          if Dfm_logic.Truthtable.eval_index f m then begin
+            let term = ref (-1L) in
+            for k = 0 to arity - 1 do
+              term :=
+                Int64.logand !term
+                  (if (m lsr k) land 1 = 1 then scratch.(k) else Int64.lognot scratch.(k))
+            done;
+            out := Int64.logor !out !term
+          end
+        done;
+        let onet = g.N.fanout in
+        if !out <> value t ~good onet then begin
+          set_net onet !out;
+          List.iter (fun (sg, _) -> schedule_gate sg) (N.net nl onet).N.sinks
+        end
+  done;
+  (* Reset scratch state. *)
+  List.iter (fun n -> t.touched.(n) <- false) !touched_list;
+  List.iter (fun g -> t.scheduled.(g) <- false) !scheduled_list;
+  let points =
+    Hashtbl.fold (fun n w acc -> if w <> 0L then (n, w) :: acc else acc) per_point []
+    |> List.sort compare
+  in
+  (!detect, points)
+
+let propagate t ~good ~seeds ~pin_force =
+  fst (propagate_full t ~good ~seeds ~pin_force)
+
+let forced_word = function F.Sa0 -> 0L | F.Sa1 -> -1L
+
+let is_seq_gate nl g = (N.gate nl g).N.cell.Cell.is_seq
+
+(* Stuck-at component shared by stuck and transition faults. *)
+let stuck_detect t ~good loc pol =
+  let nl = Logic_sim.netlist t.ls in
+  let w = forced_word pol in
+  match loc with
+  | F.On_net n -> propagate t ~good ~seeds:[ (n, w) ] ~pin_force:None
+  | F.On_pin (g, pin) ->
+      if is_seq_gate nl g then
+        (* The flop captures the forced value; the scan-out difference is
+           simply good-vs-forced on the D net. *)
+        Int64.logxor good.((N.gate nl g).N.fanins.(pin)) w
+      else begin
+        (* Re-evaluate the host gate with the pin forced, then propagate from
+           its output. *)
+        let g' = N.gate nl g in
+        let arity = Array.length g'.N.fanins in
+        let scratch = Array.init arity (fun k -> good.(g'.N.fanins.(k))) in
+        scratch.(pin) <- w;
+        let out = Logic_sim.eval_gate g' scratch in
+        if out = good.(g'.N.fanout) then 0L
+        else propagate t ~good ~seeds:[ (g'.N.fanout, out) ] ~pin_force:(Some (g, pin, w))
+      end
+
+let transition_stuck = function
+  | F.Slow_to_rise -> F.Sa0  (* frame 2: the site fails to rise *)
+  | F.Slow_to_fall -> F.Sa1
+
+let transition_init = function F.Slow_to_rise -> F.Sa0 | F.Slow_to_fall -> F.Sa1
+(* Frame 1 must put the site at the initial (pre-transition) value:
+   0 before a rise, 1 before a fall — the same polarity word as the
+   frame-2 stuck-at. *)
+
+let loc_net nl = function
+  | F.On_net n -> n
+  | F.On_pin (g, pin) -> (N.gate nl g).N.fanins.(pin)
+
+let detect_word t ~good (f : F.t) =
+  let nl = Logic_sim.netlist t.ls in
+  match f.F.kind with
+  | F.Stuck (loc, pol) -> stuck_detect t ~good loc pol
+  | F.Transition (loc, tr) -> stuck_detect t ~good loc (transition_stuck tr)
+  | F.Bridge (n1, n2, k) ->
+      let a = good.(n1) and b = good.(n2) in
+      let resolved =
+        match k with F.Wired_and -> Int64.logand a b | F.Wired_or -> Int64.logor a b
+      in
+      if resolved = a && resolved = b then 0L
+      else propagate t ~good ~seeds:[ (n1, resolved); (n2, resolved) ] ~pin_force:None
+  | F.Internal (g, entry_idx) ->
+      let gg = N.gate nl g in
+      let u = Dfm_cellmodel.Udfm.for_cell gg.N.cell.Cell.name in
+      let entry = List.nth u.Dfm_cellmodel.Udfm.entries entry_idx in
+      let act = activation_word t ~good ~gate:g entry.Dfm_cellmodel.Udfm.activation in
+      if act = 0L then 0L
+      else if gg.N.cell.Cell.is_seq then
+        (* Flop-internal defect: the corrupted captured value is observed
+           directly on the scan path whenever the defect is activated. *)
+        act
+      else begin
+        let flipped = Int64.logxor good.(gg.N.fanout) act in
+        propagate t ~good ~seeds:[ (gg.N.fanout, flipped) ] ~pin_force:None
+      end
+
+(* Per-observable-point difference words; mirrors [detect_word] case by
+   case. *)
+let syndrome t ~good (f : F.t) =
+  let nl = Logic_sim.netlist t.ls in
+  let single net w = if w = 0L then [] else [ (net, w) ] in
+  match f.F.kind with
+  | F.Stuck (loc, pol) -> (
+      let w = forced_word pol in
+      match loc with
+      | F.On_net n -> snd (propagate_full t ~good ~seeds:[ (n, w) ] ~pin_force:None)
+      | F.On_pin (g, pin) ->
+          if is_seq_gate nl g then begin
+            let dnet = (N.gate nl g).N.fanins.(pin) in
+            single dnet (Int64.logxor good.(dnet) w)
+          end
+          else begin
+            let g' = N.gate nl g in
+            let arity = Array.length g'.N.fanins in
+            let scratch = Array.init arity (fun k -> good.(g'.N.fanins.(k))) in
+            scratch.(pin) <- w;
+            let out = Logic_sim.eval_gate g' scratch in
+            if out = good.(g'.N.fanout) then []
+            else
+              snd
+                (propagate_full t ~good ~seeds:[ (g'.N.fanout, out) ]
+                   ~pin_force:(Some (g, pin, w)))
+          end)
+  | F.Transition (loc, tr) -> (
+      (* frame-2 component only; gating by frame-1 is the caller's job *)
+      let pol = transition_stuck tr in
+      let w = forced_word pol in
+      match loc with
+      | F.On_net n -> snd (propagate_full t ~good ~seeds:[ (n, w) ] ~pin_force:None)
+      | F.On_pin (g, pin) ->
+          if is_seq_gate nl g then begin
+            let dnet = (N.gate nl g).N.fanins.(pin) in
+            single dnet (Int64.logxor good.(dnet) w)
+          end
+          else begin
+            let g' = N.gate nl g in
+            let arity = Array.length g'.N.fanins in
+            let scratch = Array.init arity (fun k -> good.(g'.N.fanins.(k))) in
+            scratch.(pin) <- w;
+            let out = Logic_sim.eval_gate g' scratch in
+            if out = good.(g'.N.fanout) then []
+            else
+              snd
+                (propagate_full t ~good ~seeds:[ (g'.N.fanout, out) ]
+                   ~pin_force:(Some (g, pin, w)))
+          end)
+  | F.Bridge (n1, n2, k) ->
+      let a = good.(n1) and b = good.(n2) in
+      let resolved =
+        match k with F.Wired_and -> Int64.logand a b | F.Wired_or -> Int64.logor a b
+      in
+      if resolved = a && resolved = b then []
+      else snd (propagate_full t ~good ~seeds:[ (n1, resolved); (n2, resolved) ] ~pin_force:None)
+  | F.Internal (g, entry_idx) ->
+      let gg = N.gate nl g in
+      let u = Dfm_cellmodel.Udfm.for_cell gg.N.cell.Cell.name in
+      let entry = List.nth u.Dfm_cellmodel.Udfm.entries entry_idx in
+      let act = activation_word t ~good ~gate:g entry.Dfm_cellmodel.Udfm.activation in
+      if act = 0L then []
+      else if gg.N.cell.Cell.is_seq then single gg.N.fanins.(0) act
+      else begin
+        let flipped = Int64.logxor good.(gg.N.fanout) act in
+        snd (propagate_full t ~good ~seeds:[ (gg.N.fanout, flipped) ] ~pin_force:None)
+      end
+
+let init_word t ~good (f : F.t) =
+  let nl = Logic_sim.netlist t.ls in
+  match f.F.kind with
+  | F.Transition (loc, tr) ->
+      let site = good.(loc_net nl loc) in
+      (match transition_init tr with
+      | F.Sa0 -> Int64.lognot site  (* patterns where the site is 0 *)
+      | F.Sa1 -> site)
+  | F.Stuck _ | F.Bridge _ | F.Internal _ -> -1L

@@ -1,0 +1,37 @@
+(** Event-driven single-fault simulation over 64-pattern words.
+
+    Given the fault-free value words of every net ({!Logic_sim.run}), a fault
+    is injected as one or two seed overrides and the difference is propagated
+    through the transitive fanout only, stopping when it dies out.  The
+    result is the set of the 64 patterns (as a bit word) that detect the
+    fault at an observable point.
+
+    Transition faults need cross-pattern bookkeeping (an independent frame
+    establishing the initial value — the enhanced-scan assumption documented
+    in [Fault]); {!init_word} exposes the frame-1 condition so a campaign
+    driver can accumulate both sides. *)
+
+type t
+
+val prepare : Dfm_netlist.Netlist.t -> t
+
+val sim : t -> Logic_sim.t
+(** The underlying prepared logic simulator. *)
+
+val detect_word : t -> good:int64 array -> Dfm_faults.Fault.t -> int64
+(** Patterns (bits) on which the fault effect reaches an observable point.
+    For a transition fault this is the frame-2 (stuck-at) component only. *)
+
+val init_word : t -> good:int64 array -> Dfm_faults.Fault.t -> int64
+(** For a transition fault: patterns establishing the initial value at the
+    site (frame 1).  [-1L] (all patterns) for other fault kinds. *)
+
+val activation_word : t -> good:int64 array -> gate:int -> int list -> int64
+(** Patterns matching one of the given cell-input minterms at a gate; the
+    activation condition of internal (UDFM) faults. *)
+
+val syndrome : t -> good:int64 array -> Dfm_faults.Fault.t -> (int * int64) list
+(** Per observable point: (net id, word of patterns on which that point
+    differs from the fault-free value).  The union of the words equals
+    {!detect_word}.  This is the per-output failure signature diagnosis
+    matches against tester data. *)

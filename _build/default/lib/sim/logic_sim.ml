@@ -1,0 +1,81 @@
+module N = Dfm_netlist.Netlist
+module Tt = Dfm_logic.Truthtable
+
+type t = {
+  nl : N.t;
+  ins : (string * int) list;
+  obs : (string * int) list;
+  order : int array;
+}
+
+let prepare nl =
+  { nl; ins = N.input_nets nl; obs = N.observe_nets nl; order = N.topo_order nl }
+
+let netlist t = t.nl
+let inputs t = t.ins
+let observes t = t.obs
+let num_inputs t = List.length t.ins
+let topo t = t.order
+
+(* One fresh block seed per call; each input's word is derived from the
+   block seed and the input's *label*, so the pattern a given flip-flop or
+   primary input sees does not depend on how many other inputs exist or on
+   gate numbering.  This keeps fault statuses stable across the small
+   netlist edits of the resynthesis loop. *)
+let random_words t rng =
+  let block = Dfm_util.Rng.bits64 rng in
+  let ins = Array.of_list t.ins in
+  Array.map
+    (fun (label, _) ->
+      let label_rng = Dfm_util.Rng.of_name label in
+      let seed = Int64.logxor (Dfm_util.Rng.bits64 label_rng) block in
+      Dfm_util.Rng.bits64 (Dfm_util.Rng.create (Int64.to_int seed)))
+    ins
+
+let words_of_pattern pattern =
+  Array.map (fun b -> if b then -1L else 0L) pattern
+
+let pattern_of_words words b =
+  Array.map (fun w -> Int64.logand (Int64.shift_right_logical w b) 1L = 1L) words
+
+(* Evaluate a truth table over fanin words by minterm expansion: for each
+   1-minterm, AND together the fanin words (complemented where the minterm
+   has a 0) and OR into the result. *)
+let eval_tt (f : Tt.t) (ws : int64 array) =
+  let n = Tt.arity f in
+  let out = ref 0L in
+  for m = 0 to (1 lsl n) - 1 do
+    if Tt.eval_index f m then begin
+      let term = ref (-1L) in
+      for k = 0 to n - 1 do
+        let w = ws.(k) in
+        term := Int64.logand !term (if (m lsr k) land 1 = 1 then w else Int64.lognot w)
+      done;
+      out := Int64.logor !out !term
+    end
+  done;
+  !out
+
+let eval_gate (g : N.gate) ws = eval_tt g.N.cell.Dfm_netlist.Cell.func ws
+
+let run t ins =
+  let values = Array.make (N.num_nets t.nl) 0L in
+  List.iteri (fun i (_, nid) -> values.(nid) <- ins.(i)) t.ins;
+  Array.iter
+    (fun (nn : N.net) ->
+      match nn.N.driver with
+      | N.Const v -> values.(nn.N.net_id) <- (if v then -1L else 0L)
+      | N.Pi _ | N.Gate_out _ -> ())
+    t.nl.N.nets;
+  let scratch = Array.make 8 0L in
+  Array.iter
+    (fun gid ->
+      let g = t.nl.N.gates.(gid) in
+      let n = Array.length g.N.fanins in
+      for k = 0 to n - 1 do
+        scratch.(k) <- values.(g.N.fanins.(k))
+      done;
+      (* [eval_tt] only reads the first [arity] entries of the scratch. *)
+      values.(g.N.fanout) <- eval_tt g.N.cell.Dfm_netlist.Cell.func scratch)
+    t.order;
+  values

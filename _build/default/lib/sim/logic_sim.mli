@@ -1,0 +1,39 @@
+(** Bit-parallel (64 patterns per word) logic simulation.
+
+    The controllable points of the netlist ({!Dfm_netlist.Netlist.input_nets}:
+    primary inputs and flip-flop Q nets, full-scan style) are driven with one
+    64-bit word each; gate evaluation propagates whole words through the
+    truth tables in topological order. *)
+
+type t
+
+val prepare : Dfm_netlist.Netlist.t -> t
+
+val netlist : t -> Dfm_netlist.Netlist.t
+
+val inputs : t -> (string * int) list
+(** Labels and net ids of the controllable points, in word order. *)
+
+val observes : t -> (string * int) list
+(** Labels and net ids of the observable points. *)
+
+val num_inputs : t -> int
+
+val random_words : t -> Dfm_util.Rng.t -> int64 array
+(** One fresh random word per controllable point. *)
+
+val words_of_pattern : bool array -> int64 array
+(** Broadcast a single pattern to all 64 bit positions. *)
+
+val pattern_of_words : int64 array -> int -> bool array
+(** Extract bit position [b] of each word as one pattern. *)
+
+val run : t -> int64 array -> int64 array
+(** [run t ins] simulates and returns one value word per net
+    (indexed by net id). *)
+
+val eval_gate : Dfm_netlist.Netlist.gate -> int64 array -> int64
+(** Evaluate one gate's truth table over fanin words. *)
+
+val topo : t -> int array
+(** Cached topological order of combinational gates. *)

@@ -1,0 +1,1 @@
+lib/synth/aig.ml: Array Hashtbl List

@@ -1,0 +1,1 @@
+lib/synth/convert.ml: Aig Array Dfm_logic Dfm_netlist Hashtbl List Mapper Sweep

@@ -1,0 +1,1 @@
+lib/synth/convert.mli: Aig Dfm_netlist Mapper

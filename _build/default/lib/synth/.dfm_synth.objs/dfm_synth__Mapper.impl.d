@@ -1,0 +1,1 @@
+lib/synth/mapper.ml: Aig Array Dfm_logic Dfm_netlist Float Hashtbl Int64 List Printf

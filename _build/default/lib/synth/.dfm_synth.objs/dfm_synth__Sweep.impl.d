@@ -1,0 +1,1 @@
+lib/synth/sweep.ml: Aig Array Dfm_sat Dfm_util Hashtbl Int64 List

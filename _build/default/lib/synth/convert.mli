@@ -1,0 +1,43 @@
+(** Bridges between netlists and AIGs, and the resynthesis entry points.
+
+    [remap_region] is the paper's [Synthesize()] call: extract the subcircuit
+    [C_sub], decompose it to an AIG, re-cover it with the *allowed* cells
+    only, and splice the result back.  [remap_full] re-synthesizes the whole
+    combinational cloud (used by the restricted-library ablation of
+    Section IV); flip-flops are preserved in place. *)
+
+val to_aig : Dfm_netlist.Netlist.t -> Aig.t * (string * Aig.lit) list
+(** Decompose a purely combinational netlist.  AIG inputs are named after
+    the netlist's PI ports; the returned association lists PO port names to
+    output literals.  @raise Invalid_argument on sequential gates. *)
+
+val remap :
+  ?goal:[ `Delay | `Area ] ->
+  ?sweep:bool ->
+  ?table:Mapper.table ->
+  Dfm_netlist.Netlist.t ->
+  library:Dfm_netlist.Library.t ->
+  Dfm_netlist.Netlist.t
+(** Decompose, SAT-sweep (unless [sweep:false]) and re-map a combinational
+    netlist onto [library] (same PI/PO names).
+    @raise Mapper.Unmappable if the cells are not sufficient. *)
+
+val remap_region :
+  ?goal:[ `Delay | `Area ] ->
+  ?sweep:bool ->
+  ?table:Mapper.table ->
+  Dfm_netlist.Netlist.t ->
+  gates:int list ->
+  library:Dfm_netlist.Library.t ->
+  Dfm_netlist.Netlist.t
+(** Re-synthesize only the given combinational gates with the allowed cells,
+    leaving the rest of the circuit untouched. *)
+
+val remap_full :
+  ?goal:[ `Delay | `Area ] ->
+  ?sweep:bool ->
+  ?table:Mapper.table ->
+  Dfm_netlist.Netlist.t ->
+  library:Dfm_netlist.Library.t ->
+  Dfm_netlist.Netlist.t
+(** Re-synthesize the entire combinational cloud. *)

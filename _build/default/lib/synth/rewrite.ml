@@ -1,0 +1,73 @@
+let max_flatten = 16
+
+let depth aig outputs =
+  let n = Aig.num_nodes aig in
+  let d = Array.make n 0 in
+  for v = 0 to n - 1 do
+    match Aig.kind aig v with
+    | Aig.Const0 | Aig.Input _ -> d.(v) <- 0
+    | Aig.And (a, b) ->
+        d.(v) <- 1 + max d.(Aig.node_of_lit a) d.(Aig.node_of_lit b)
+  done;
+  List.fold_left (fun acc (_, l) -> max acc d.(Aig.node_of_lit l)) 0 outputs
+
+let balance aig ~outputs =
+  let n = Aig.num_nodes aig in
+  let fresh = Aig.create () in
+  let map = Array.make n Aig.lit_false in
+  let new_depth : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let depth_of_lit l =
+    match Hashtbl.find_opt new_depth (Aig.node_of_lit l) with Some d -> d | None -> 0
+  in
+  let new_lit_of old_lit =
+    let m = map.(Aig.node_of_lit old_lit) in
+    if Aig.is_complemented old_lit then Aig.not_ m else m
+  in
+  (* Flatten the conjunction tree rooted at an old node: descend through
+     uncomplemented AND edges, stop at inputs, complemented edges, or once
+     the conjunct list is big enough. *)
+  let gather v =
+    let acc = ref [] in
+    let count = ref 0 in
+    let rec go lit =
+      let u = Aig.node_of_lit lit in
+      match Aig.kind aig u with
+      | Aig.And (a, b) when (not (Aig.is_complemented lit)) && !count < max_flatten ->
+          incr count;
+          go a;
+          go b
+      | Aig.And _ | Aig.Const0 | Aig.Input _ -> acc := lit :: !acc
+    in
+    (match Aig.kind aig v with
+    | Aig.And (a, b) ->
+        go a;
+        go b
+    | Aig.Const0 | Aig.Input _ -> ());
+    List.rev !acc
+  in
+  for v = 0 to n - 1 do
+    match Aig.kind aig v with
+    | Aig.Const0 -> map.(v) <- Aig.lit_false
+    | Aig.Input name -> map.(v) <- Aig.input fresh name
+    | Aig.And _ ->
+        let conjuncts = List.map new_lit_of (gather v) in
+        (* Huffman-style: always combine the two shallowest conjuncts. *)
+        let heap = Dfm_util.Heap.create () in
+        List.iter (fun l -> Dfm_util.Heap.push heap (float_of_int (depth_of_lit l)) l) conjuncts;
+        let rec combine () =
+          match Dfm_util.Heap.pop heap with
+          | None -> Aig.lit_true
+          | Some (_, l1) -> (
+              match Dfm_util.Heap.pop heap with
+              | None -> l1
+              | Some (_, l2) ->
+                  let l = Aig.and_ fresh l1 l2 in
+                  Hashtbl.replace new_depth (Aig.node_of_lit l)
+                    (1 + max (depth_of_lit l1) (depth_of_lit l2));
+                  Dfm_util.Heap.push heap (float_of_int (depth_of_lit l)) l;
+                  combine ())
+        in
+        map.(v) <- combine ()
+  done;
+  let outputs' = List.map (fun (name, l) -> (name, new_lit_of l)) outputs in
+  (fresh, outputs')

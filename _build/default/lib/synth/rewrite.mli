@@ -1,0 +1,15 @@
+(** AIG restructuring passes.
+
+    {!balance} rebuilds AND trees in balanced (depth-minimal) form: long
+    conjunction chains left by SOP construction or netlist decomposition
+    become log-depth trees, which the mapper then covers with shorter
+    critical paths.  The function of every output is preserved (structural
+    hashing plus property tests enforce it). *)
+
+val balance : Aig.t -> outputs:(string * Aig.lit) list -> Aig.t * (string * Aig.lit) list
+(** Returns the rebuilt AIG with translated output literals.  Never deeper
+    than the input graph. *)
+
+val depth : Aig.t -> (string * Aig.lit) list -> int
+(** Maximum AND-depth over the given outputs (inputs and constants are at
+    depth 0). *)

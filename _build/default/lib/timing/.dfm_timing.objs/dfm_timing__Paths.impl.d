@@ -1,0 +1,1 @@
+lib/timing/paths.ml: Array Dfm_layout Dfm_netlist Format List Sta

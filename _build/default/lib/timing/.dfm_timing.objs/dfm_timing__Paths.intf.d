@@ -1,0 +1,1 @@
+lib/timing/paths.mli: Dfm_layout Format Sta

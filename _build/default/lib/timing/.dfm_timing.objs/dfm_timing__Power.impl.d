@@ -1,0 +1,1 @@
+lib/timing/power.ml: Array Dfm_layout Dfm_netlist Dfm_sim Dfm_util Int64 Sta

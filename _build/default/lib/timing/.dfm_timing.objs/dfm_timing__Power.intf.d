@@ -1,0 +1,1 @@
+lib/timing/power.mli: Dfm_layout

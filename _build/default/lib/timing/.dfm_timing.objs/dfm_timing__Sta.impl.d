@@ -1,0 +1,1 @@
+lib/timing/sta.ml: Array Dfm_layout Dfm_netlist Float List

@@ -1,0 +1,70 @@
+module N = Dfm_netlist.Netlist
+module Cell = Dfm_netlist.Cell
+
+type hop = {
+  gate : int;
+  cell : string;
+  through_net : int;
+  arrival : float;
+}
+
+type path = {
+  endpoint : string;
+  launch : string;
+  delay : float;
+  hops : hop list;
+}
+
+(* Walk back from a net along the worst-arrival fanin at every gate. *)
+let trace_back (nl : N.t) (rep : Sta.report) net =
+  let arr = rep.Sta.net_arrival in
+  let rec go net acc =
+    match (N.net nl net).N.driver with
+    | N.Pi k -> (fst nl.N.pis.(k), acc)
+    | N.Const _ -> ("constant", acc)
+    | N.Gate_out g ->
+        let gg = N.gate nl g in
+        if gg.N.cell.Cell.is_seq then ("ppi:" ^ gg.N.gate_name, acc)
+        else begin
+          let hop =
+            { gate = g; cell = gg.N.cell.Cell.name; through_net = net; arrival = arr.(net) }
+          in
+          let worst =
+            Array.fold_left
+              (fun best fn ->
+                match best with
+                | None -> Some fn
+                | Some b -> if arr.(fn) > arr.(b) then Some fn else best)
+              None gg.N.fanins
+          in
+          match worst with
+          | None -> ("constant", hop :: acc)
+          | Some fn -> go fn (hop :: acc)
+        end
+  in
+  go net []
+
+let critical_paths ?(k = 5) (rt : Dfm_layout.Route.t) (rep : Sta.report) =
+  let nl = rt.Dfm_layout.Route.place.Dfm_layout.Place.nl in
+  let endpoints = N.observe_nets nl in
+  let paths =
+    List.map
+      (fun (label, net) ->
+        let launch, hops = trace_back nl rep net in
+        { endpoint = label; launch; delay = rep.Sta.net_arrival.(net); hops })
+      endpoints
+  in
+  List.sort (fun a b -> compare b.delay a.delay) paths
+  |> List.filteri (fun i _ -> i < k)
+
+let slacks ~clock (rt : Dfm_layout.Route.t) (rep : Sta.report) =
+  let nl = rt.Dfm_layout.Route.place.Dfm_layout.Place.nl in
+  List.map (fun (label, net) -> (label, clock -. rep.Sta.net_arrival.(net))) (N.observe_nets nl)
+  |> List.sort (fun (_, a) (_, b) -> compare a b)
+
+let pp_path ppf p =
+  Format.fprintf ppf "%s -> %s : %.3f ns, %d stages@." p.launch p.endpoint p.delay
+    (List.length p.hops);
+  List.iter
+    (fun h -> Format.fprintf ppf "    %-10s g%-5d at %.3f ns@." h.cell h.gate h.arrival)
+    p.hops

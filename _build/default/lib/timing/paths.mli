@@ -1,0 +1,30 @@
+(** Critical-path enumeration and slack reporting.
+
+    Beyond the single worst number the resynthesis constraint needs, a
+    designer evaluating a rewrite wants to see *which* paths moved.  This
+    module walks the arrival-time annotations of {!Sta} backwards to recover
+    the k most critical launch-to-capture paths and per-endpoint slacks
+    against a target clock period. *)
+
+type hop = {
+  gate : int;            (** gate id along the path *)
+  cell : string;
+  through_net : int;     (** the gate's output net *)
+  arrival : float;       (** ns at that net *)
+}
+
+type path = {
+  endpoint : string;     (** capture-point label *)
+  launch : string;       (** launch-point label *)
+  delay : float;         (** ns *)
+  hops : hop list;       (** launch side first *)
+}
+
+val critical_paths : ?k:int -> Dfm_layout.Route.t -> Sta.report -> path list
+(** The [k] (default 5) worst paths, sorted by decreasing delay.  One path
+    per capture point (the classic endpoint-wise report). *)
+
+val slacks : clock:float -> Dfm_layout.Route.t -> Sta.report -> (string * float) list
+(** Per capture point: [clock - arrival], most negative first. *)
+
+val pp_path : Format.formatter -> path -> unit

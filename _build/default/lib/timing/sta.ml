@@ -1,0 +1,58 @@
+module N = Dfm_netlist.Netlist
+module Cell = Dfm_netlist.Cell
+
+type report = {
+  critical_path_delay : float;
+  worst_endpoint : string;
+  net_arrival : float array;
+  net_load : float array;
+}
+
+let wire_cap_per_um = 0.00018  (* pF/um, 0.18um-node ballpark *)
+
+let net_load_of (rt : Dfm_layout.Route.t) =
+  let nl = rt.Dfm_layout.Route.place.Dfm_layout.Place.nl in
+  Array.map
+    (fun (nn : N.net) ->
+      let pin_caps =
+        List.fold_left
+          (fun acc (g, pin) ->
+            ignore pin;
+            acc +. (N.gate nl g).N.cell.Cell.input_cap)
+          0.0 nn.N.sinks
+      in
+      pin_caps +. (rt.Dfm_layout.Route.net_length.(nn.N.net_id) *. wire_cap_per_um))
+    nl.N.nets
+
+let analyze (rt : Dfm_layout.Route.t) =
+  let nl = rt.Dfm_layout.Route.place.Dfm_layout.Place.nl in
+  let load = net_load_of rt in
+  let arrival = Array.make (N.num_nets nl) 0.0 in
+  (* Launch points (PIs, flip-flop Q) stay at 0; constants too. *)
+  Array.iter
+    (fun gid ->
+      let g = N.gate nl gid in
+      let input_arrival =
+        Array.fold_left (fun acc fn -> Float.max acc arrival.(fn)) 0.0 g.N.fanins
+      in
+      let delay =
+        g.N.cell.Cell.intrinsic_delay +. (g.N.cell.Cell.drive_res *. load.(g.N.fanout))
+      in
+      arrival.(g.N.fanout) <- input_arrival +. delay)
+    (N.topo_order nl);
+  let endpoints = N.observe_nets nl in
+  let worst, wlabel =
+    List.fold_left
+      (fun (w, lbl) (label, n) -> if arrival.(n) > w then (arrival.(n), label) else (w, lbl))
+      (0.0, "-") endpoints
+  in
+  {
+    critical_path_delay = worst;
+    worst_endpoint = wlabel;
+    net_arrival = arrival;
+    net_load = load;
+  }
+
+let endpoint_arrivals (rt : Dfm_layout.Route.t) report =
+  let nl = rt.Dfm_layout.Route.place.Dfm_layout.Place.nl in
+  List.map (fun (label, n) -> (label, report.net_arrival.(n))) (N.observe_nets nl)

@@ -1,0 +1,64 @@
+type 'a t = { mutable data : (float * 'a) array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let is_empty h = h.len = 0
+
+let length h = h.len
+
+let grow h x =
+  let cap = Array.length h.data in
+  if h.len = cap then begin
+    let ncap = max 8 (2 * cap) in
+    let nd = Array.make ncap x in
+    Array.blit h.data 0 nd 0 h.len;
+    h.data <- nd
+  end
+
+let push h prio v =
+  grow h (prio, v);
+  h.data.(h.len) <- (prio, v);
+  h.len <- h.len + 1;
+  (* sift up *)
+  let i = ref (h.len - 1) in
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let p = (!i - 1) / 2 in
+    let pi, _ = h.data.(p) and ci, _ = h.data.(!i) in
+    if ci < pi then begin
+      let tmp = h.data.(p) in
+      h.data.(p) <- h.data.(!i);
+      h.data.(!i) <- tmp;
+      i := p
+    end
+    else continue := false
+  done
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.data.(0) <- h.data.(h.len);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.len && fst h.data.(l) < fst h.data.(!smallest) then smallest := l;
+        if r < h.len && fst h.data.(r) < fst h.data.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = h.data.(!i) in
+          h.data.(!i) <- h.data.(!smallest);
+          h.data.(!smallest) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some top
+  end
+
+let peek h = if h.len = 0 then None else Some h.data.(0)

@@ -1,0 +1,16 @@
+(** Binary min-heap over values with float priorities.  Used by the placer's
+    legalizer and the router's maze expansion. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h prio v] inserts [v] with priority [prio]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority element. *)
+
+val peek : 'a t -> (float * 'a) option

@@ -1,0 +1,43 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the project flows through named [Rng.t] streams seeded
+    with splitmix64 so that every run of every experiment is reproducible
+    bit-for-bit.  The stdlib [Random] module is never used. *)
+
+type t
+(** A mutable pseudo-random stream. *)
+
+val create : int -> t
+(** [create seed] makes an independent stream from an integer seed. *)
+
+val of_name : string -> t
+(** [of_name s] derives a stream from a string label (FNV-1a hash of [s]),
+    so that unrelated subsystems get decorrelated streams without having to
+    coordinate integer seeds. *)
+
+val split : t -> t
+(** [split t] draws a fresh independent stream from [t]. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [0, n).  Requires [n > 0]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [0, x). *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val sample : t -> int -> 'a list -> 'a list
+(** [sample t k xs] draws [min k (length xs)] distinct elements of [xs],
+    preserving no particular order. *)

@@ -1,0 +1,13 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let percent num den = if den = 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den
+
+let ratio a b = if b = 0.0 then 0.0 else a /. b
+
+let clamp ~min ~max x = if x < min then min else if x > max then max else x
+
+let fmt_pct p = Printf.sprintf "%.2f%%" p
+
+let fmt_ratio_pct r = Printf.sprintf "%.2f%%" (100.0 *. r)

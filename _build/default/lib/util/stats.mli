@@ -1,0 +1,18 @@
+(** Small numeric helpers shared by the benchmark harness and reports. *)
+
+val mean : float list -> float
+(** Mean of a list; 0 for the empty list. *)
+
+val percent : int -> int -> float
+(** [percent num den] is [100 * num / den] as a float; 0 when [den = 0]. *)
+
+val ratio : float -> float -> float
+(** [ratio a b] is [a /. b]; 0 when [b = 0]. *)
+
+val clamp : min:float -> max:float -> float -> float
+
+val fmt_pct : float -> string
+(** Render a percentage like the paper's tables, e.g. ["93.62%"]. *)
+
+val fmt_ratio_pct : float -> string
+(** Render a ratio as a percentage, e.g. [1.0327 -> "103.27%"]. *)

@@ -1,0 +1,45 @@
+type t = { parent : int array; rank : int array; csize : int array }
+
+let create n =
+  { parent = Array.init n (fun i -> i); rank = Array.make n 0; csize = Array.make n 1 }
+
+let size t = Array.length t.parent
+
+let rec find t i =
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    let r = find t p in
+    t.parent.(i) <- r;
+    r
+  end
+
+let union t i j =
+  let ri = find t i and rj = find t j in
+  if ri <> rj then begin
+    let a, b = if t.rank.(ri) < t.rank.(rj) then rj, ri else ri, rj in
+    t.parent.(b) <- a;
+    t.csize.(a) <- t.csize.(a) + t.csize.(b);
+    if t.rank.(a) = t.rank.(b) then t.rank.(a) <- t.rank.(a) + 1
+  end
+
+let same t i j = find t i = find t j
+
+let class_size t i = t.csize.(find t i)
+
+let classes t =
+  let tbl = Hashtbl.create 16 in
+  for i = size t - 1 downto 0 do
+    let r = find t i in
+    Hashtbl.replace tbl r (i :: (try Hashtbl.find tbl r with Not_found -> []))
+  done;
+  Hashtbl.fold (fun r members acc -> (r, members) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let count_classes t =
+  let n = size t in
+  let c = ref 0 in
+  for i = 0 to n - 1 do
+    if find t i = i then incr c
+  done;
+  !c

@@ -1,0 +1,27 @@
+(** Union-find over dense integer keys [0 .. n-1], with path compression and
+    union by rank.  Used to partition undetectable faults into structural
+    clusters (Section II of the paper). *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton classes. *)
+
+val size : t -> int
+(** Number of elements (not classes). *)
+
+val find : t -> int -> int
+(** Canonical representative of the class of an element. *)
+
+val union : t -> int -> int -> unit
+(** Merge the classes of two elements. *)
+
+val same : t -> int -> int -> bool
+
+val class_size : t -> int -> int
+(** Number of elements in the class of an element. *)
+
+val classes : t -> (int * int list) list
+(** All classes as [(representative, members)] pairs; members are sorted. *)
+
+val count_classes : t -> int

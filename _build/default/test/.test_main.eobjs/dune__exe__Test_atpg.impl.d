@@ -1,0 +1,1 @@
+test/test_atpg.ml: Alcotest Array Dfm_atpg Dfm_cellmodel Dfm_faults Dfm_logic Dfm_netlist Dfm_sim Dfm_util List Printf QCheck QCheck_alcotest

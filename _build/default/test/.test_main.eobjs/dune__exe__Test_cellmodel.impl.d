@@ -1,0 +1,1 @@
+test/test_cellmodel.ml: Alcotest Array Dfm_cellmodel Dfm_logic Dfm_netlist List Option Printf

@@ -1,0 +1,1 @@
+test/test_circuits.ml: Alcotest Array Dfm_circuits Dfm_netlist List Printf

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Array Dfm_cellmodel Dfm_core Dfm_faults Dfm_netlist Dfm_util Hashtbl List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_diagnose.ml: Alcotest Array Dfm_atpg Dfm_circuits Dfm_core Dfm_faults Dfm_guidelines Dfm_netlist Dfm_sim Dfm_util Int64 Lazy List

@@ -1,0 +1,1 @@
+test/test_guidelines.ml: Alcotest Array Dfm_cellmodel Dfm_circuits Dfm_faults Dfm_guidelines Dfm_layout Dfm_netlist Hashtbl Lazy List

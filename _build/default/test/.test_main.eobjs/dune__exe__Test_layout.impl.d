@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Array Dfm_circuits Dfm_layout Dfm_netlist Lazy List Printf

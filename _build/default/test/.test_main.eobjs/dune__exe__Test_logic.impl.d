@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Dfm_logic Int64 List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Dfm_atpg Dfm_cellmodel Dfm_circuits Dfm_netlist Dfm_util List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_resynth.ml: Alcotest Dfm_atpg Dfm_cellmodel Dfm_circuits Dfm_core Dfm_netlist Float Lazy List

@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Dfm_logic Dfm_sat Int64 List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Dfm_cellmodel Dfm_faults Dfm_logic Dfm_netlist Dfm_sim Dfm_util Int64 List Printf QCheck QCheck_alcotest

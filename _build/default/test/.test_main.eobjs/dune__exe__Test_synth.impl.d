@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Array Dfm_cellmodel Dfm_netlist Dfm_synth Dfm_util List Printf QCheck QCheck_alcotest String

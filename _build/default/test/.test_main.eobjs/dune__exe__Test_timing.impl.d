@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Array Dfm_cellmodel Dfm_layout Dfm_netlist Dfm_timing List Printf

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Dfm_util List QCheck QCheck_alcotest

@@ -1,0 +1,196 @@
+(* Tests for dfm_cellmodel: switch-level networks, defects, UDFM. *)
+
+module Switch = Dfm_cellmodel.Switch
+module Defect = Dfm_cellmodel.Defect
+module Osu = Dfm_cellmodel.Osu018
+module Udfm = Dfm_cellmodel.Udfm
+module Cell = Dfm_netlist.Cell
+module Tt = Dfm_logic.Truthtable
+
+let comb_models = List.filter (fun m -> m.Osu.network <> None) Osu.models
+
+(* Every healthy switch network computes exactly the declared truth table
+   on every input pattern (this runs inside Udfm.characterize too, but here
+   it fails with a per-cell message). *)
+let test_healthy_networks_match () =
+  List.iter
+    (fun m ->
+      let cell = m.Osu.cell in
+      let net = Option.get m.Osu.network in
+      let arity = Cell.arity cell in
+      for mt = 0 to (1 lsl arity) - 1 do
+        let pins =
+          Array.to_list
+            (Array.mapi (fun k p -> (p, (mt lsr k) land 1 = 1)) cell.Cell.inputs)
+        in
+        let v = Switch.eval net Switch.healthy pins in
+        let expect = if Tt.eval_index cell.Cell.func mt then Switch.V1 else Switch.V0 in
+        if v <> expect then
+          Alcotest.failf "%s minterm %d: got %s" cell.Cell.name mt (Switch.v4_to_string v)
+      done)
+    comb_models
+
+let test_21_cells () =
+  Alcotest.(check int) "21 models" 21 (List.length Osu.models);
+  Alcotest.(check int) "one sequential" 1
+    (List.length (List.filter (fun m -> m.Osu.cell.Cell.is_seq) Osu.models))
+
+let test_inverter_short_behaviour () =
+  (* Shorting OUT to GND in an inverter forces output 0 (or contention X)
+     when the input is 0. *)
+  let m = Osu.model "INVX1" in
+  let net = Option.get m.Osu.network in
+  let cond = { Switch.healthy with Switch.shorted = [ (Switch.Out, Switch.Gnd) ] } in
+  (match Switch.eval net cond [ ("A", false) ] with
+  | Switch.V0 | Switch.VX -> ()
+  | v -> Alcotest.failf "expected 0/X, got %s" (Switch.v4_to_string v));
+  (* With input 1 output is 0 anyway: no deviation. *)
+  Alcotest.(check string) "input 1 still 0" "0"
+    (Switch.v4_to_string (Switch.eval net cond [ ("A", true) ]))
+
+let test_stuck_off_pullup () =
+  (* Removing the single P device of INVX1 leaves the output floating when
+     the input is 0. *)
+  let m = Osu.model "INVX1" in
+  let net = Option.get m.Osu.network in
+  let pdev =
+    List.find (fun (t : Switch.transistor) -> t.Switch.mos = Switch.Pmos)
+      net.Switch.devices
+  in
+  let cond = { Switch.healthy with Switch.stuck_off = [ pdev.Switch.t_id ] } in
+  Alcotest.(check string) "floating high side" "Z"
+    (Switch.v4_to_string (Switch.eval net cond [ ("A", false) ]));
+  Alcotest.(check string) "pull-down intact" "0"
+    (Switch.v4_to_string (Switch.eval net cond [ ("A", true) ]))
+
+let test_pin_open () =
+  (* An open input pin makes the NAND2 output unknown for patterns that
+     depend on it. *)
+  let m = Osu.model "NAND2X1" in
+  let net = Option.get m.Osu.network in
+  let cond = { Switch.healthy with Switch.open_pins = [ "A" ] } in
+  (match Switch.eval net cond [ ("A", true); ("B", true) ] with
+  | Switch.VX | Switch.VZ -> ()
+  | v -> Alcotest.failf "expected X/Z, got %s" (Switch.v4_to_string v));
+  (* B = 0 dominates a NAND regardless of A. *)
+  Alcotest.(check string) "B=0 dominates" "1"
+    (Switch.v4_to_string (Switch.eval net cond [ ("A", true); ("B", false) ]))
+
+let test_udfm_counts_monotone_in_size () =
+  (* Bigger stacks have more internal faults: the ordering the resynthesis
+     procedure relies on. *)
+  let c n = Udfm.internal_fault_count n in
+  Alcotest.(check bool) "nand4 > nand3" true (c "NAND4X1" > c "NAND3X1");
+  Alcotest.(check bool) "nand3 > nand2" true (c "NAND3X1" > c "NAND2X1");
+  Alcotest.(check bool) "xor largest family" true (c "XOR2X1" > c "NAND4X1");
+  Alcotest.(check bool) "invx1 small" true (c "INVX1" <= c "NAND2X1")
+
+let test_udfm_activation_sets_valid () =
+  List.iter
+    (fun (u : Udfm.t) ->
+      List.iter
+        (fun (e : Udfm.entry) ->
+          Alcotest.(check bool) "non-empty" true (e.Udfm.activation <> []);
+          List.iter
+            (fun m ->
+              Alcotest.(check bool) "in range" true (m >= 0 && m < 1 lsl u.Udfm.arity))
+            e.Udfm.activation)
+        u.Udfm.entries)
+    (Udfm.all ())
+
+let test_udfm_activation_means_deviation () =
+  (* Re-simulate: every activation pattern of a combinational entry really
+     deviates, and non-activation patterns really match. *)
+  List.iter
+    (fun m ->
+      let cell = m.Osu.cell in
+      let net = Option.get m.Osu.network in
+      let u = Udfm.for_cell cell.Cell.name in
+      List.iter
+        (fun (e : Udfm.entry) ->
+          let cond = Defect.to_condition net e.Udfm.site.Defect.defect in
+          for mt = 0 to (1 lsl u.Udfm.arity) - 1 do
+            let pins =
+              Array.to_list
+                (Array.mapi (fun k p -> (p, (mt lsr k) land 1 = 1)) cell.Cell.inputs)
+            in
+            let good = Tt.eval_index cell.Cell.func mt in
+            let faulty = Switch.eval net cond pins in
+            let deviates =
+              match faulty with
+              | Switch.V0 -> good
+              | Switch.V1 -> not good
+              | Switch.VX | Switch.VZ -> true
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s site %d minterm %d" cell.Cell.name
+                 e.Udfm.site.Defect.site_id mt)
+              (List.mem mt e.Udfm.activation) deviates
+          done)
+        u.Udfm.entries)
+    comb_models
+
+let test_benign_sites_exist_for_parallel_devices () =
+  (* INVX2 has doubled devices: a single open contact is masked. *)
+  let u2 = Udfm.characterize (Osu.model "INVX2") in
+  Alcotest.(check bool) "invx2 benign > 0" true (u2.Udfm.benign_sites > 0);
+  let u1 = Udfm.characterize (Osu.model "INVX1") in
+  Alcotest.(check int) "invx1 benign = 0" 0 u1.Udfm.benign_sites
+
+let test_site_guideline_indices_in_range () =
+  List.iter
+    (fun m ->
+      List.iter
+        (fun (s : Defect.site) ->
+          let bound =
+            match s.Defect.category with
+            | Defect.Via -> 19
+            | Defect.Metal -> 29
+            | Defect.Density -> 11
+          in
+          Alcotest.(check bool) "guideline index" true
+            (s.Defect.guideline_index >= 0 && s.Defect.guideline_index < bound))
+        m.Osu.sites)
+    Osu.models
+
+let test_dff_entries () =
+  let u = Udfm.for_cell Osu.dff_name in
+  Alcotest.(check int) "arity 1" 1 u.Udfm.arity;
+  Alcotest.(check bool) "has entries" true (List.length u.Udfm.entries >= 8);
+  (* every activation is over D in {0,1} *)
+  List.iter
+    (fun (e : Udfm.entry) ->
+      List.iter
+        (fun m -> Alcotest.(check bool) "d value" true (m = 0 || m = 1))
+        e.Udfm.activation)
+    u.Udfm.entries
+
+let test_mux_network_passgate () =
+  let m = Osu.model "MUX2X1" in
+  let net = Option.get m.Osu.network in
+  (* S=0 selects A; S=1 selects B — through transmission gates. *)
+  List.iter
+    (fun (a, b, s) ->
+      let v = Switch.eval net Switch.healthy [ ("A", a); ("B", b); ("S", s) ] in
+      let expect = if s then b else a in
+      Alcotest.(check string)
+        (Printf.sprintf "mux %b %b %b" a b s)
+        (if expect then "1" else "0")
+        (Switch.v4_to_string v))
+    [ (true, false, false); (true, false, true); (false, true, false); (false, true, true) ]
+
+let suite =
+  [
+    Alcotest.test_case "healthy networks match truth tables" `Quick test_healthy_networks_match;
+    Alcotest.test_case "21 cells, 1 sequential" `Quick test_21_cells;
+    Alcotest.test_case "inverter output short" `Quick test_inverter_short_behaviour;
+    Alcotest.test_case "stuck-off pull-up floats" `Quick test_stuck_off_pullup;
+    Alcotest.test_case "open pin" `Quick test_pin_open;
+    Alcotest.test_case "udfm counts monotone" `Quick test_udfm_counts_monotone_in_size;
+    Alcotest.test_case "udfm activation sets valid" `Quick test_udfm_activation_sets_valid;
+    Alcotest.test_case "udfm activation = deviation" `Slow test_udfm_activation_means_deviation;
+    Alcotest.test_case "benign sites (parallel devices)" `Quick test_benign_sites_exist_for_parallel_devices;
+    Alcotest.test_case "site guideline indices" `Quick test_site_guideline_indices_in_range;
+    Alcotest.test_case "dff entries" `Quick test_dff_entries;
+    Alcotest.test_case "mux passgate network" `Quick test_mux_network_passgate;
+  ]

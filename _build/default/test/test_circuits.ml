@@ -1,0 +1,76 @@
+(* Tests for the benchmark generators: validity, determinism, no dangling
+   logic, scaling. *)
+
+module N = Dfm_netlist.Netlist
+module C = Dfm_circuits.Circuits
+module Io = Dfm_netlist.Netlist_io
+
+let test_all_names_build_and_validate () =
+  List.iter
+    (fun name ->
+      let nl = C.build ~scale:0.3 name in
+      N.validate nl;
+      Alcotest.(check bool) (name ^ " nonempty") true (N.num_gates nl > 20);
+      Alcotest.(check bool) (name ^ " has flops") true (N.seq_gates nl <> []);
+      Alcotest.(check bool) (name ^ " has outputs") true (Array.length nl.N.pos > 0))
+    C.names
+
+let test_twelve_blocks () =
+  Alcotest.(check int) "12 blocks" 12 (List.length C.names);
+  List.iter
+    (fun n -> Alcotest.(check bool) ("table1 name " ^ n) true (List.mem n C.names))
+    C.table1_names
+
+let test_deterministic () =
+  let a = C.build ~scale:0.3 "tv80" in
+  let b = C.build ~scale:0.3 "tv80" in
+  Alcotest.(check string) "identical dumps" (Io.to_string a) (Io.to_string b)
+
+let test_scale_monotone () =
+  let small = C.build ~scale:0.25 "sparc_exu" in
+  let big = C.build ~scale:1.0 "sparc_exu" in
+  Alcotest.(check bool) "more gates at bigger scale" true (N.num_gates big > N.num_gates small)
+
+let test_no_dangling_nets () =
+  List.iter
+    (fun name ->
+      let nl = C.build ~scale:0.3 name in
+      let po_nets =
+        Array.fold_left (fun acc (_, n) -> n :: acc) [] nl.N.pos |> List.sort_uniq compare
+      in
+      Array.iter
+        (fun (nn : N.net) ->
+          match nn.N.driver with
+          | N.Gate_out _ ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: net %s observable" name nn.N.net_name)
+                true
+                (nn.N.sinks <> [] || List.mem nn.N.net_id po_nets)
+          | N.Pi _ | N.Const _ -> ())
+        nl.N.nets)
+    [ "tv80"; "sparc_fpu"; "wb_conmax" ]
+
+let test_des_perf_largest () =
+  (* The paper's largest block should also be ours. *)
+  let sizes = List.map (fun n -> (n, N.num_gates (C.build ~scale:0.3 n))) C.names in
+  let des = List.assoc "des_perf" sizes in
+  List.iter
+    (fun (n, s) -> if n <> "des_perf" then Alcotest.(check bool) (n ^ " smaller") true (s < des))
+    sizes
+
+let test_io_roundtrip_block () =
+  let nl = C.build ~scale:0.25 "sparc_ffu" in
+  let nl' = Io.read ~library:nl.N.library (Io.to_string nl) in
+  Alcotest.(check int) "same gates" (N.num_gates nl) (N.num_gates nl');
+  N.validate nl'
+
+let suite =
+  [
+    Alcotest.test_case "all blocks build" `Slow test_all_names_build_and_validate;
+    Alcotest.test_case "twelve blocks" `Quick test_twelve_blocks;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "scale monotone" `Quick test_scale_monotone;
+    Alcotest.test_case "no dangling nets" `Quick test_no_dangling_nets;
+    Alcotest.test_case "des_perf largest" `Slow test_des_perf_largest;
+    Alcotest.test_case "io roundtrip block" `Quick test_io_roundtrip_block;
+  ]

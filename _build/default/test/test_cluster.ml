@@ -1,0 +1,171 @@
+(* Tests for the Section II clustering: against a naive transitive-closure
+   reference, plus structural properties. *)
+
+module N = Dfm_netlist.Netlist
+module B = N.Builder
+module F = Dfm_faults.Fault
+module Cluster = Dfm_core.Cluster
+module Rng = Dfm_util.Rng
+
+let lib = Dfm_cellmodel.Osu018.library
+let origin = { F.category = Dfm_cellmodel.Defect.Via; guideline_index = 0 }
+
+let random_netlist seed ngates =
+  let rng = Rng.create seed in
+  let b = B.create ~name:"rand" lib in
+  let nets = ref [] in
+  for i = 0 to 3 do
+    nets := B.add_pi b (Printf.sprintf "i%d" i) :: !nets
+  done;
+  let cells = [| "INVX1"; "NAND2X1"; "NOR2X1"; "AOI21X1" |] in
+  for _ = 1 to ngates do
+    let arr = Array.of_list !nets in
+    let cname = Rng.pick rng cells in
+    let c = Dfm_netlist.Library.find lib cname in
+    let fanins = Array.init (Dfm_netlist.Cell.arity c) (fun _ -> Rng.pick rng arr) in
+    nets := B.add_gate b ~cell:cname fanins :: !nets
+  done;
+  List.iteri (fun i n -> if i < 2 then B.mark_po b (Printf.sprintf "o%d" i) n) !nets;
+  B.finish b
+
+let random_faults rng nl k =
+  Array.init k (fun i ->
+      let kind =
+        if Rng.bool rng && N.num_gates nl > 0 then begin
+          let g = Rng.int rng (N.num_gates nl) in
+          let u =
+            Dfm_cellmodel.Udfm.for_cell (N.gate nl g).N.cell.Dfm_netlist.Cell.name
+          in
+          F.Internal (g, Rng.int rng (List.length u.Dfm_cellmodel.Udfm.entries))
+        end
+        else
+          F.Stuck
+            (F.On_net (Rng.int rng (N.num_nets nl)), if Rng.bool rng then F.Sa0 else F.Sa1)
+      in
+      { F.fault_id = i; kind; origin })
+
+(* Naive O(n^2) reference: faults adjacent iff their corresponding gate sets
+   share a gate or contain structurally adjacent gates; clusters = connected
+   components. *)
+let naive_clusters nl faults undet =
+  let ids = List.filter (fun i -> undet i) (List.init (Array.length faults) (fun i -> i)) in
+  let gates = List.map (fun i -> (i, F.corresponding_gates nl faults.(i))) ids in
+  let adjacent (_, gs1) (_, gs2) =
+    List.exists
+      (fun g1 ->
+        List.exists (fun g2 -> g1 = g2 || List.mem g2 (N.adjacent_gates nl g1)) gs2)
+      gs1
+  in
+  let parent = Hashtbl.create 16 in
+  List.iter (fun i -> Hashtbl.replace parent i i) ids;
+  let rec find i = let p = Hashtbl.find parent i in if p = i then i else find p in
+  let union i j = Hashtbl.replace parent (find i) (find j) in
+  List.iter
+    (fun a -> List.iter (fun b -> if fst a <> fst b && adjacent a b then union (fst a) (fst b)) gates)
+    gates;
+  List.map (fun (i, _) -> find i) gates
+  |> List.sort_uniq compare
+  |> List.map (fun root -> List.filter (fun (i, _) -> find i = root) gates |> List.map fst)
+
+let prop_matches_naive =
+  QCheck.Test.make ~name:"cluster partition matches naive closure" ~count:30
+    QCheck.(pair (int_range 1 10000) (int_range 4 12))
+    (fun (seed, ngates) ->
+      let nl = random_netlist seed ngates in
+      let rng = Rng.create (seed + 5) in
+      let faults = random_faults rng nl 20 in
+      let undet i = i mod 3 <> 1 in
+      let c = Cluster.compute nl faults ~undetectable:undet in
+      let naive = naive_clusters nl faults undet in
+      let norm cl = List.sort compare (List.map (List.sort compare) cl) in
+      norm c.Cluster.clusters = norm naive)
+
+let test_smax_is_largest () =
+  let nl = random_netlist 77 10 in
+  let rng = Rng.create 99 in
+  let faults = random_faults rng nl 30 in
+  let c = Cluster.compute nl faults ~undetectable:(fun _ -> true) in
+  let sizes = List.map List.length c.Cluster.clusters in
+  Alcotest.(check bool) "sorted desc" true
+    (List.sort (fun a b -> compare b a) sizes = sizes);
+  Alcotest.(check int) "smax is head" (List.hd sizes) (List.length c.Cluster.smax);
+  Alcotest.(check int) "total" 30 c.Cluster.n_undetectable
+
+let test_empty () =
+  let nl = random_netlist 3 5 in
+  let c = Cluster.compute nl [||] ~undetectable:(fun _ -> false) in
+  Alcotest.(check int) "no clusters" 0 (List.length c.Cluster.clusters);
+  Alcotest.(check (list int)) "no smax" [] c.Cluster.smax;
+  Alcotest.(check (list int)) "no gmax" [] c.Cluster.gmax
+
+let test_gmax_gu_consistency () =
+  let nl = random_netlist 11 8 in
+  let rng = Rng.create 13 in
+  let faults = random_faults rng nl 15 in
+  let c = Cluster.compute nl faults ~undetectable:(fun i -> i mod 2 = 0) in
+  (* gmax gates correspond to smax faults *)
+  List.iter
+    (fun g ->
+      Alcotest.(check bool) "gmax gate touched by smax fault" true
+        (List.exists
+           (fun fid -> List.mem g (F.corresponding_gates nl faults.(fid)))
+           c.Cluster.smax))
+    c.Cluster.gmax;
+  (* gmax is a subset of gu *)
+  List.iter
+    (fun g -> Alcotest.(check bool) "gmax in gu" true (List.mem g c.Cluster.gu))
+    c.Cluster.gmax
+
+(* Two undetectable faults in disjoint cones form two clusters. *)
+let test_disjoint_cones_two_clusters () =
+  let b = B.create ~name:"two" lib in
+  let x = B.add_pi b "x" in
+  let y = B.add_pi b "y" in
+  let g0 = B.add_gate b ~cell:"INVX1" [| x |] in
+  let g1 = B.add_gate b ~cell:"INVX1" [| y |] in
+  B.mark_po b "a" g0;
+  B.mark_po b "b" g1;
+  let nl = B.finish b in
+  let faults =
+    [|
+      { F.fault_id = 0; kind = F.Internal (0, 0); origin };
+      { F.fault_id = 1; kind = F.Internal (1, 0); origin };
+    |]
+  in
+  let c = Cluster.compute nl faults ~undetectable:(fun _ -> true) in
+  Alcotest.(check int) "two clusters" 2 (List.length c.Cluster.clusters);
+  (* and two faults on the same gate form one *)
+  let faults1 =
+    [|
+      { F.fault_id = 0; kind = F.Internal (0, 0); origin };
+      { F.fault_id = 1; kind = F.Internal (0, 1); origin };
+    |]
+  in
+  let c1 = Cluster.compute nl faults1 ~undetectable:(fun _ -> true) in
+  Alcotest.(check int) "one cluster" 1 (List.length c1.Cluster.clusters)
+
+let test_smax_internal_count () =
+  let b = B.create ~name:"mix" lib in
+  let x = B.add_pi b "x" in
+  let g0 = B.add_gate b ~cell:"INVX1" [| x |] in
+  B.mark_po b "a" g0;
+  let nl = B.finish b in
+  let faults =
+    [|
+      { F.fault_id = 0; kind = F.Internal (0, 0); origin };
+      { F.fault_id = 1; kind = F.Stuck (F.On_net g0, F.Sa0); origin };
+    |]
+  in
+  let c = Cluster.compute nl faults ~undetectable:(fun _ -> true) in
+  Alcotest.(check int) "one cluster of 2" 2 (List.length c.Cluster.smax);
+  Alcotest.(check int) "one internal in smax" 1 (Cluster.smax_internal faults c)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_matches_naive;
+    Alcotest.test_case "smax is largest" `Quick test_smax_is_largest;
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "gmax/gu consistency" `Quick test_gmax_gu_consistency;
+    Alcotest.test_case "disjoint cones" `Quick test_disjoint_cones_two_clusters;
+    Alcotest.test_case "smax internal count" `Quick test_smax_internal_count;
+  ]

@@ -1,0 +1,21 @@
+(* Test runner: one alcotest binary aggregating every module's suite. *)
+
+let () =
+  Alcotest.run "dfm_resynthesis"
+    [
+      ("util", Test_util.suite);
+      ("logic", Test_logic.suite);
+      ("sat", Test_sat.suite);
+      ("netlist", Test_netlist.suite);
+      ("cellmodel", Test_cellmodel.suite);
+      ("sim", Test_sim.suite);
+      ("atpg", Test_atpg.suite);
+      ("synth", Test_synth.suite);
+      ("layout", Test_layout.suite);
+      ("timing", Test_timing.suite);
+      ("guidelines", Test_guidelines.suite);
+      ("cluster", Test_cluster.suite);
+      ("diagnose", Test_diagnose.suite);
+      ("circuits", Test_circuits.suite);
+      ("resynth", Test_resynth.suite);
+    ]

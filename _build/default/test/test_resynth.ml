@@ -1,0 +1,165 @@
+(* End-to-end tests of the paper's procedure: the two-phase resynthesis flow
+   on a small block, its invariants, and the SAT equivalence checker. *)
+
+module N = Dfm_netlist.Netlist
+module Design = Dfm_core.Design
+module Resynth = Dfm_core.Resynth
+module Atpg = Dfm_atpg.Atpg
+module Cell = Dfm_netlist.Cell
+
+let scale = 0.4
+
+let result =
+  lazy
+    (let nl = Dfm_circuits.Circuits.build ~scale "sparc_spu" in
+     let d0 = Design.implement nl in
+     (nl, d0, Resynth.run d0))
+
+let test_cell_order () =
+  let order = Resynth.cells_by_internal_faults Dfm_cellmodel.Osu018.library in
+  let counts =
+    List.map (fun (c : Cell.t) -> Dfm_cellmodel.Udfm.internal_fault_count c.Cell.name) order
+  in
+  Alcotest.(check bool) "descending" true
+    (List.sort (fun a b -> compare b a) counts = counts);
+  Alcotest.(check bool) "no flop" true
+    (List.for_all (fun (c : Cell.t) -> not c.Cell.is_seq) order)
+
+let test_u_decreases () =
+  let _, d0, r = Lazy.force result in
+  let m0 = Design.metrics d0 and m1 = Design.metrics r.Resynth.final in
+  Alcotest.(check bool) "U decreased" true (m1.Design.u < m0.Design.u);
+  Alcotest.(check bool) "coverage improved" true (m1.Design.coverage > m0.Design.coverage);
+  Alcotest.(check bool) "Smax decreased" true (m1.Design.s_max < m0.Design.s_max)
+
+let test_constraints_maintained () =
+  let _, d0, r = Lazy.force result in
+  let m0 = Design.metrics d0 and m1 = Design.metrics r.Resynth.final in
+  (* q <= 5: at most 5% increase in delay and power; die area unchanged. *)
+  Alcotest.(check bool) "delay budget" true (m1.Design.delay <= m0.Design.delay *. 1.05 +. 1e-9);
+  Alcotest.(check bool) "power budget" true (m1.Design.power <= m0.Design.power *. 1.05 +. 1e-9);
+  let die0 = r.Resynth.initial.Design.floorplan and die1 = r.Resynth.final.Design.floorplan in
+  Alcotest.(check bool) "same floorplan" true (die0 == die1)
+
+let test_function_preserved () =
+  let nl, _, r = Lazy.force result in
+  match Dfm_atpg.Equiv_sat.check nl r.Resynth.final.Design.netlist with
+  | Dfm_atpg.Equiv_sat.Equivalent -> ()
+  | Dfm_atpg.Equiv_sat.Different l -> Alcotest.failf "differs at %s" l
+  | Dfm_atpg.Equiv_sat.Interface_mismatch m -> Alcotest.failf "interface: %s" m
+
+let test_trace_monotone_on_accepts () =
+  let _, d0, r = Lazy.force result in
+  (* Across accepted steps, total U never increases (the paper's
+     monotonicity requirement). *)
+  let u0 = (Design.metrics d0).Design.u in
+  let accepts =
+    List.filter
+      (fun e ->
+        e.Resynth.ev_action = "accept" || e.Resynth.ev_action = "backtrack-accept")
+      r.Resynth.trace
+  in
+  Alcotest.(check int) "accept count" r.Resynth.accepted (List.length accepts);
+  let rec walk last = function
+    | [] -> ()
+    | e :: rest ->
+        Alcotest.(check bool) "U monotone" true (e.Resynth.ev_u <= last);
+        walk e.Resynth.ev_u rest
+  in
+  walk u0 accepts
+
+let test_trace_q_monotone () =
+  let _, _, r = Lazy.force result in
+  let qs = List.map (fun e -> e.Resynth.ev_q) r.Resynth.trace in
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a <= b && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "q nondecreasing in trace" true (sorted qs)
+
+let test_equiv_sat_detects_differences () =
+  (* sanity: the checker is not a rubber stamp *)
+  let lib = Dfm_cellmodel.Osu018.library in
+  let mk invert =
+    let b = N.Builder.create ~name:"eq" lib in
+    let x = N.Builder.add_pi b "x" in
+    let y = N.Builder.add_pi b "y" in
+    let g =
+      N.Builder.add_gate b ~cell:(if invert then "NAND2X1" else "AND2X2") [| x; y |]
+    in
+    N.Builder.mark_po b "o" g;
+    N.Builder.finish b
+  in
+  (match Dfm_atpg.Equiv_sat.check (mk false) (mk true) with
+  | Dfm_atpg.Equiv_sat.Different "o" -> ()
+  | _ -> Alcotest.fail "expected difference at o");
+  match Dfm_atpg.Equiv_sat.check (mk false) (mk false) with
+  | Dfm_atpg.Equiv_sat.Equivalent -> ()
+  | _ -> Alcotest.fail "expected equivalence"
+
+let test_design_metrics_consistent () =
+  let _, d0, _ = Lazy.force result in
+  let m = Design.metrics d0 in
+  Alcotest.(check int) "u split" m.Design.u (m.Design.u_internal + m.Design.u_external);
+  Alcotest.(check bool) "smax <= u" true (m.Design.s_max <= m.Design.u);
+  Alcotest.(check bool) "gmax <= gu" true (m.Design.g_max <= m.Design.g_u);
+  Alcotest.(check (float 1e-6)) "coverage formula"
+    (100.0 *. (1.0 -. (float_of_int m.Design.u /. float_of_int m.Design.f)))
+    m.Design.coverage
+
+let test_dppm_model () =
+  let _, d0, r = Lazy.force result in
+  let dppm0 = Dfm_core.Dppm.escapes_dppm d0 in
+  let dppm1 = Dfm_core.Dppm.escapes_dppm r.Resynth.final in
+  Alcotest.(check bool) "positive" true (dppm0 > 0.0);
+  Alcotest.(check bool) "resynthesis reduces escapes" true (dppm1 < dppm0);
+  (* breakdown sums to roughly the total (independence correction is tiny) *)
+  let parts = Dfm_core.Dppm.breakdown d0 in
+  let total_sites =
+    List.fold_left (fun a (_, n, _) -> a + n) 0 parts
+  in
+  Alcotest.(check int) "sites = U" (Design.metrics d0).Design.u total_sites;
+  let linear = List.fold_left (fun a (_, _, ppm) -> a +. ppm) 0.0 parts in
+  Alcotest.(check bool) "linear approx close" true
+    (Float.abs (linear -. dppm0) /. Float.max 1.0 dppm0 < 0.05)
+
+let test_guideline_table_sums () =
+  let _, d0, _ = Lazy.force result in
+  let rows = Dfm_core.Report.guideline_table d0 in
+  let m = Design.metrics d0 in
+  let f_total = List.fold_left (fun a (r : Dfm_core.Report.guideline_row) -> a + r.Dfm_core.Report.n_faults) 0 rows in
+  let u_total = List.fold_left (fun a (r : Dfm_core.Report.guideline_row) -> a + r.Dfm_core.Report.n_undetectable) 0 rows in
+  Alcotest.(check int) "faults partition by guideline" m.Design.f f_total;
+  Alcotest.(check int) "undetectable partition" m.Design.u u_total;
+  (* sorted by undetectable count *)
+  let rec sorted = function
+    | (a : Dfm_core.Report.guideline_row) :: (b :: _ as rest) ->
+        a.Dfm_core.Report.n_undetectable >= b.Dfm_core.Report.n_undetectable && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted desc" true (sorted rows)
+
+let test_fig2_series_shape () =
+  let _, d0, r = Lazy.force result in
+  let series = Dfm_core.Report.fig2_series r in
+  (match series with
+  | first :: _ ->
+      Alcotest.(check int) "starts at original U" (Design.metrics d0).Design.u first.Dfm_core.Report.u
+  | [] -> Alcotest.fail "empty series");
+  Alcotest.(check int) "one point per accepted step + origin"
+    (r.Resynth.accepted + 1) (List.length series)
+
+let suite =
+  [
+    Alcotest.test_case "cell order" `Quick test_cell_order;
+    Alcotest.test_case "U decreases" `Slow test_u_decreases;
+    Alcotest.test_case "constraints maintained" `Slow test_constraints_maintained;
+    Alcotest.test_case "function preserved" `Slow test_function_preserved;
+    Alcotest.test_case "trace monotone on accepts" `Slow test_trace_monotone_on_accepts;
+    Alcotest.test_case "trace q monotone" `Slow test_trace_q_monotone;
+    Alcotest.test_case "equiv_sat detects differences" `Quick test_equiv_sat_detects_differences;
+    Alcotest.test_case "design metrics consistent" `Slow test_design_metrics_consistent;
+    Alcotest.test_case "dppm model" `Slow test_dppm_model;
+    Alcotest.test_case "guideline table sums" `Slow test_guideline_table_sums;
+    Alcotest.test_case "fig2 series shape" `Slow test_fig2_series_shape;
+  ]

@@ -1,0 +1,121 @@
+(* Tests for dfm_timing: STA and power. *)
+
+module N = Dfm_netlist.Netlist
+module B = N.Builder
+module Floorplan = Dfm_layout.Floorplan
+module Place = Dfm_layout.Place
+module Route = Dfm_layout.Route
+module Sta = Dfm_timing.Sta
+module Power = Dfm_timing.Power
+
+let lib = Dfm_cellmodel.Osu018.library
+
+let implement nl =
+  let fp = Floorplan.create nl in
+  Route.route (Place.place nl fp)
+
+let chain n =
+  let b = B.create ~name:(Printf.sprintf "chain%d" n) lib in
+  let x = B.add_pi b "x" in
+  let cur = ref x in
+  for _ = 1 to n do
+    cur := B.add_gate b ~cell:"INVX1" [| !cur |]
+  done;
+  B.mark_po b "y" !cur;
+  B.finish b
+
+let test_longer_chain_slower () =
+  let r4 = implement (chain 4) and r12 = implement (chain 12) in
+  let t4 = (Sta.analyze r4).Sta.critical_path_delay in
+  let t12 = (Sta.analyze r12).Sta.critical_path_delay in
+  Alcotest.(check bool) "12 inverters slower than 4" true (t12 > t4);
+  Alcotest.(check bool) "positive" true (t4 > 0.0)
+
+let test_arrival_monotone_along_path () =
+  let nl = chain 6 in
+  let rt = implement nl in
+  let rep = Sta.analyze rt in
+  (* arrivals strictly increase along the inverter chain *)
+  let arr = rep.Sta.net_arrival in
+  Array.iter
+    (fun (g : N.gate) ->
+      Array.iter
+        (fun fn ->
+          Alcotest.(check bool) "arrival increases" true (arr.(g.N.fanout) > arr.(fn)))
+        g.N.fanins)
+    nl.N.gates
+
+let test_endpoints () =
+  let nl = chain 3 in
+  let rt = implement nl in
+  let rep = Sta.analyze rt in
+  let eps = Sta.endpoint_arrivals rt rep in
+  Alcotest.(check int) "one endpoint" 1 (List.length eps);
+  Alcotest.(check string) "worst named" "y" rep.Sta.worst_endpoint
+
+let test_load_increases_delay () =
+  (* The same driver with more fanout is slower. *)
+  let fanout_circuit k =
+    let b = B.create ~name:"fan" lib in
+    let x = B.add_pi b "x" in
+    let d = B.add_gate b ~cell:"INVX1" [| x |] in
+    for i = 0 to k - 1 do
+      let o = B.add_gate b ~cell:"INVX1" [| d |] in
+      B.mark_po b (Printf.sprintf "y%d" i) o
+    done;
+    B.finish b
+  in
+  let r1 = implement (fanout_circuit 1) and r8 = implement (fanout_circuit 8) in
+  let load1 = (Sta.analyze r1).Sta.net_load and load8 = (Sta.analyze r8).Sta.net_load in
+  (* net 1 is the inverter output in both *)
+  Alcotest.(check bool) "more load" true (load8.(1) > load1.(1))
+
+let test_power_positive_and_scales () =
+  let r4 = implement (chain 4) and r12 = implement (chain 12) in
+  let p4 = Power.analyze r4 and p12 = Power.analyze r12 in
+  Alcotest.(check bool) "positive" true (p4.Power.total > 0.0);
+  Alcotest.(check bool) "bigger circuit more power" true (p12.Power.total > p4.Power.total);
+  Alcotest.(check (float 1e-12)) "total = dyn + leak" p4.Power.total
+    (p4.Power.dynamic +. p4.Power.leakage)
+
+let test_power_deterministic () =
+  let rt = implement (chain 5) in
+  let p1 = Power.analyze rt and p2 = Power.analyze rt in
+  Alcotest.(check (float 1e-12)) "deterministic" p1.Power.total p2.Power.total
+
+let test_critical_paths () =
+  let nl = chain 6 in
+  let rt = implement nl in
+  let rep = Sta.analyze rt in
+  let paths = Dfm_timing.Paths.critical_paths ~k:3 rt rep in
+  (match paths with
+  | p :: _ ->
+      Alcotest.(check (float 1e-9)) "worst path = critical delay" rep.Sta.critical_path_delay
+        p.Dfm_timing.Paths.delay;
+      Alcotest.(check int) "six stages" 6 (List.length p.Dfm_timing.Paths.hops);
+      Alcotest.(check string) "launch is the PI" "x" p.Dfm_timing.Paths.launch;
+      (* hop arrivals increase along the path *)
+      let rec increasing = function
+        | (a : Dfm_timing.Paths.hop) :: (b :: _ as rest) ->
+            a.Dfm_timing.Paths.arrival < b.Dfm_timing.Paths.arrival && increasing rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "arrivals increase" true (increasing p.Dfm_timing.Paths.hops)
+  | [] -> Alcotest.fail "no paths");
+  let slacks = Dfm_timing.Paths.slacks ~clock:10.0 rt rep in
+  List.iter
+    (fun (_, s) -> Alcotest.(check bool) "positive slack at 10ns" true (s > 0.0))
+    slacks;
+  let neg = Dfm_timing.Paths.slacks ~clock:0.0 rt rep in
+  Alcotest.(check bool) "negative slack at 0ns" true (List.for_all (fun (_, s) -> s < 0.0) neg)
+
+let suite =
+  [
+    Alcotest.test_case "longer chain slower" `Quick test_longer_chain_slower;
+    Alcotest.test_case "arrival monotone" `Quick test_arrival_monotone_along_path;
+    Alcotest.test_case "endpoints" `Quick test_endpoints;
+    Alcotest.test_case "load increases delay" `Quick test_load_increases_delay;
+    Alcotest.test_case "power positive and scales" `Quick test_power_positive_and_scales;
+    Alcotest.test_case "power deterministic" `Quick test_power_deterministic;
+    Alcotest.test_case "critical paths" `Quick test_critical_paths;
+  ]
