@@ -8,10 +8,12 @@
      fig2     — Fig. 2, the per-step cluster-breaking trajectory
      ablation — Section IV restricted-library experiment
      choices  — ablations of this reproduction's own design choices
+     scaling  — multicore fault classification at 1/2/4/8 domains
      micro    — Bechamel timings of the per-experiment kernels
 
    REPRO_SCALE scales the generated blocks (default 1.0);
-   REPRO_CIRCUITS restricts table2 to a comma-separated subset. *)
+   REPRO_CIRCUITS restricts table2 to a comma-separated subset;
+   REPRO_SCALING_JSON writes the scaling section's JSON record to a file. *)
 
 module Design = Dfm_core.Design
 module Resynth = Dfm_core.Resynth
@@ -20,7 +22,7 @@ module Circuits = Dfm_circuits.Circuits
 
 let sections =
   match Sys.getenv_opt "REPRO_SECTIONS" with
-  | None -> [ "table1"; "table2"; "fig2"; "ablation"; "choices"; "micro" ]
+  | None -> [ "table1"; "table2"; "fig2"; "ablation"; "choices"; "scaling"; "micro" ]
   | Some s -> String.split_on_char ',' s |> List.map String.trim
 
 let wants s = List.mem s sections
@@ -292,6 +294,71 @@ let run_choices () =
 "
 
 (* ------------------------------------------------------------------ *)
+(* Scaling: the multicore fault-classification engine                   *)
+(* ------------------------------------------------------------------ *)
+
+let run_scaling () =
+  header "Scaling: sharded fault classification at 1/2/4/8 domains (largest block)";
+  (* Largest block of the selected subset — the campaign the resynthesis
+     loop repays most for speeding up. *)
+  let name =
+    List.fold_left
+      (fun best n ->
+        if Dfm_netlist.Netlist.num_gates (netlist_of n)
+           > Dfm_netlist.Netlist.num_gates (netlist_of best)
+        then n
+        else best)
+      (List.hd circuits_subset) circuits_subset
+  in
+  let d = design_of name in
+  let nl = d.Design.netlist in
+  let faults = d.Design.fault_list.Dfm_guidelines.Translate.faults in
+  Printf.printf "circuit %s: %d gates, %d faults, %d core(s) available\n" name
+    (Dfm_netlist.Netlist.num_gates nl)
+    (Array.length faults)
+    (Domain.recommended_domain_count ());
+  let time_classify jobs =
+    let t0 = Unix.gettimeofday () in
+    let cls = Dfm_atpg.Atpg.classify ~jobs nl faults in
+    (Unix.gettimeofday () -. t0, cls)
+  in
+  let t1, reference = time_classify 1 in
+  let rows =
+    List.map
+      (fun jobs ->
+        let t, cls = if jobs = 1 then (t1, reference) else time_classify jobs in
+        let identical = cls.Dfm_atpg.Atpg.status = reference.Dfm_atpg.Atpg.status in
+        Printf.printf "  jobs=%d  %8.3f s   speedup %5.2fx   bit-identical %b\n" jobs t
+          (t1 /. Float.max 1e-9 t) identical;
+        (jobs, t, identical))
+      [ 1; 2; 4; 8 ]
+  in
+  let json =
+    Printf.sprintf
+      "{\"section\":\"scaling\",\"circuit\":\"%s\",\"gates\":%d,\"faults\":%d,\
+       \"cores\":%d,\"results\":[%s]}"
+      name
+      (Dfm_netlist.Netlist.num_gates nl)
+      (Array.length faults)
+      (Domain.recommended_domain_count ())
+      (String.concat ","
+         (List.map
+            (fun (jobs, t, identical) ->
+              Printf.sprintf
+                "{\"jobs\":%d,\"seconds\":%.6f,\"speedup\":%.3f,\"identical\":%b}" jobs t
+                (t1 /. Float.max 1e-9 t) identical)
+            rows))
+  in
+  Printf.printf "scaling-json: %s\n" json;
+  match Sys.getenv_opt "REPRO_SCALING_JSON" with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (json ^ "\n");
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one kernel per experiment                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -363,6 +430,7 @@ let () =
   if wants "fig2" then run_fig2 ();
   if wants "ablation" then run_ablation ();
   if wants "choices" then run_choices ();
+  if wants "scaling" then run_scaling ();
   if wants "micro" then run_micro ();
   print_newline ();
   print_endline "done."

@@ -20,6 +20,16 @@ let scale_arg =
   let doc = "Scale factor for the generated blocks (default \\$REPRO_SCALE or 1.0)." in
   Arg.(value & opt (some float) None & info [ "scale" ] ~docv:"S" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the fault-classification engine (default \\$REPRO_JOBS or the \
+     machine's recommended domain count).  The classification is bit-identical for every \
+     value; 1 disables parallelism."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let apply_jobs jobs = Option.iter Dfm_util.Parallel.set_default_jobs jobs
+
 let circuit_arg =
   let doc = "Benchmark block name (see the list subcommand)." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
@@ -66,9 +76,11 @@ let cells_cmd =
 (* ---- analyze ---- *)
 
 let analyze_cmd =
-  let run name scale =
+  let run name scale jobs =
+    apply_jobs jobs;
     let nl = build ?scale name in
-    Fmt.pr "building and implementing %s ...@." name;
+    Fmt.pr "building and implementing %s (%d jobs) ...@." name
+      (Dfm_util.Parallel.default_jobs ());
     let d = Design.implement nl in
     let m = Design.metrics d in
     Fmt.pr "%a@." N.pp_summary nl;
@@ -82,7 +94,7 @@ let analyze_cmd =
          |> List.map (fun c -> string_of_int (List.length c))))
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Implement a block and report its fault clustering.")
-    Term.(const run $ circuit_arg $ scale_arg)
+    Term.(const run $ circuit_arg $ scale_arg $ jobs_arg)
 
 (* ---- resynth ---- *)
 
@@ -98,9 +110,10 @@ let resynth_cmd =
            ~doc:"Write the resynthesized netlist (text format) to \\$(docv).")
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print accepted steps.") in
-  let run name scale q_max p1 out verbose =
+  let run name scale jobs q_max p1 out verbose =
+    apply_jobs jobs;
     let nl = build ?scale name in
-    Fmt.pr "implementing %s ...@." name;
+    Fmt.pr "implementing %s (%d jobs) ...@." name (Dfm_util.Parallel.default_jobs ());
     let d0 = Design.implement nl in
     Fmt.pr "original:      %a@." Design.pp_metrics (Design.metrics d0);
     let log = if verbose then fun s -> Fmt.pr "  %s@." s else fun _ -> () in
@@ -124,12 +137,13 @@ let resynth_cmd =
   Cmd.v
     (Cmd.info "resynth"
        ~doc:"Run the two-phase resynthesis procedure of the paper on a block.")
-    Term.(const run $ circuit_arg $ scale_arg $ q_max $ p1 $ out $ verbose)
+    Term.(const run $ circuit_arg $ scale_arg $ jobs_arg $ q_max $ p1 $ out $ verbose)
 
 (* ---- ablate ---- *)
 
 let ablate_cmd =
-  let run name scale =
+  let run name scale jobs =
+    apply_jobs jobs;
     let nl = build ?scale name in
     let row = Report.ablation ~name nl in
     Fmt.pr "removed cells: %s@." (String.concat " " row.Report.removed);
@@ -142,7 +156,7 @@ let ablate_cmd =
   Cmd.v
     (Cmd.info "ablate"
        ~doc:"Synthesize with the 7 largest cells removed (Section IV ablation).")
-    Term.(const run $ circuit_arg $ scale_arg)
+    Term.(const run $ circuit_arg $ scale_arg $ jobs_arg)
 
 (* ---- paths ---- *)
 

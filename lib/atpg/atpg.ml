@@ -3,6 +3,7 @@ module F = Dfm_faults.Fault
 module Ls = Dfm_sim.Logic_sim
 module Fs = Dfm_sim.Fault_sim
 module Rng = Dfm_util.Rng
+module Parallel = Dfm_util.Parallel
 
 type status = Detected | Undetectable | Aborted
 
@@ -24,15 +25,16 @@ type generation = {
   cross_check_failures : int;
 }
 
-(* Shared campaign state. *)
+(* Shared campaign state.  In a parallel campaign the per-fault arrays are
+   written by worker domains at disjoint indices (one contiguous shard per
+   worker); everything else is written by the coordinating domain only. *)
 type state = {
   ls : Ls.t;
-  fs : Fs.t;
+  fs : Fs.t;  (* scratch of the coordinating domain; never given to workers *)
   faults : F.t array;
   st : int array;  (* 0 unresolved, 1 detected, 2 undetectable, 3 aborted *)
   tf_init : bool array;   (* transition frame-1 covered *)
   tf_stuck : bool array;  (* transition frame-2 covered *)
-  mutable unresolved : int;
   mutable sat_queries : int;
 }
 
@@ -45,50 +47,52 @@ let make_state nl faults =
     st = Array.make (Array.length faults) 0;
     tf_init = Array.make (Array.length faults) false;
     tf_stuck = Array.make (Array.length faults) false;
-    unresolved = Array.length faults;
     sat_queries = 0;
   }
 
-let resolve s fid v =
-  if s.st.(fid) = 0 then begin
-    s.st.(fid) <- v;
-    s.unresolved <- s.unresolved - 1
-  end
+let resolve s fid v = if s.st.(fid) = 0 then s.st.(fid) <- v
+
+let unresolved_count s =
+  Array.fold_left (fun acc v -> if v = 0 then acc + 1 else acc) 0 s.st
 
 let is_transition (f : F.t) = match f.F.kind with F.Transition _ -> true | _ -> false
 
 (* Apply the detection evidence of one simulated word restricted to bit
-   [mask] (use [-1L] for all 64 bits). *)
-let apply_words s ~mask ~good fid =
+   [mask] (use [-1L] for all 64 bits).  [fs] is the caller's simulator
+   scratch — per worker in a parallel campaign. *)
+let apply_words s fs ~mask ~good fid =
   let f = s.faults.(fid) in
   if is_transition f then begin
-    let dw = Int64.logand mask (Fs.detect_word s.fs ~good f) in
-    let iw = Int64.logand mask (Fs.init_word s.fs ~good f) in
+    let dw = Int64.logand mask (Fs.detect_word fs ~good f) in
+    let iw = Int64.logand mask (Fs.init_word fs ~good f) in
     if dw <> 0L then s.tf_stuck.(fid) <- true;
     if iw <> 0L then s.tf_init.(fid) <- true;
     if s.tf_stuck.(fid) && s.tf_init.(fid) then resolve s fid 1
   end
   else begin
-    let dw = Int64.logand mask (Fs.detect_word s.fs ~good f) in
+    let dw = Int64.logand mask (Fs.detect_word fs ~good f) in
     if dw <> 0L then resolve s fid 1
   end
 
-let run_block s words =
-  let good = Ls.run s.ls words in
-  for fid = 0 to Array.length s.faults - 1 do
-    if s.st.(fid) = 0 then apply_words s ~mask:(-1L) ~good fid
+let sim_range s fs ~good ~lo ~hi =
+  for fid = lo to hi - 1 do
+    if s.st.(fid) = 0 then apply_words s fs ~mask:(-1L) ~good fid
   done
 
-let sat_phase ?max_conflicts s =
-  for fid = 0 to Array.length s.faults - 1 do
+(* One SAT query per unresolved fault of [lo, hi); returns the query count.
+   Each query builds its own solver, so ranges are independent. *)
+let sat_range ?max_conflicts s ~lo ~hi =
+  let queries = ref 0 in
+  for fid = lo to hi - 1 do
     if s.st.(fid) = 0 then begin
-      s.sat_queries <- s.sat_queries + 1;
+      incr queries;
       match Encode.check ?max_conflicts s.ls s.faults.(fid) with
-      | Encode.Tests _ -> resolve s fid 1
-      | Encode.Undetectable -> resolve s fid 2
-      | Encode.Unknown -> resolve s fid 3
+      | Encode.Tests _ -> s.st.(fid) <- 1
+      | Encode.Undetectable -> s.st.(fid) <- 2
+      | Encode.Unknown -> s.st.(fid) <- 3
     end
-  done
+  done;
+  !queries
 
 let finish_counts s =
   let detected = ref 0 and undet = ref 0 and aborted = ref 0 in
@@ -124,15 +128,61 @@ let finish_counts s =
       };
   }
 
-let classify ?(seed = 1) ?max_conflicts ?(random_blocks = 16) nl faults =
+(* Contiguous per-worker shards.  The bounds are a pure function of the
+   fault count and the job count, and every per-fault result is a pure
+   function of the fault alone, so the merged classification is
+   bit-identical to the sequential ([jobs = 1]) run for any job count. *)
+let shard_bounds ~jobs nf = Parallel.chunk_bounds ~chunk:((nf + jobs - 1) / jobs) nf
+
+let classify ?(seed = 1) ?max_conflicts ?(random_blocks = 16) ?jobs nl faults =
+  let nf = Array.length faults in
+  let jobs =
+    let j = match jobs with Some j -> j | None -> Parallel.default_jobs () in
+    max 1 (min j (max 1 nf))
+  in
   let s = make_state nl faults in
   let rng = Rng.create (seed + 77) in
-  let blocks = ref 0 in
-  while !blocks < random_blocks && s.unresolved > 0 do
-    incr blocks;
-    run_block s (Ls.random_words s.ls rng)
-  done;
-  sat_phase ?max_conflicts s;
+  if jobs = 1 then begin
+    (* Sequential reference path: no pool, no domains. *)
+    let blocks = ref 0 in
+    let left = ref nf in
+    while !blocks < random_blocks && !left > 0 do
+      incr blocks;
+      let good = Ls.run s.ls (Ls.random_words s.ls rng) in
+      sim_range s s.fs ~good ~lo:0 ~hi:nf;
+      left := unresolved_count s
+    done;
+    s.sat_queries <- sat_range ?max_conflicts s ~lo:0 ~hi:nf
+  end
+  else begin
+    (* The UDFM lazy caches must not be forced for the first time inside a
+       worker domain. *)
+    Dfm_cellmodel.Udfm.preload ();
+    let pool = Parallel.get ~jobs () in
+    let bounds = shard_bounds ~jobs nf in
+    (* Every worker owns a full fault-simulation scratch; only the st/tf
+       arrays are shared, at disjoint indices. *)
+    let shard_fs = Array.map (fun _ -> Fs.prepare nl) bounds in
+    let blocks = ref 0 in
+    let left = ref nf in
+    while !blocks < random_blocks && !left > 0 do
+      incr blocks;
+      (* Pattern words and the fault-free simulation are produced once by
+         the coordinator, in the same order as the sequential path. *)
+      let good = Ls.run s.ls (Ls.random_words s.ls rng) in
+      Parallel.run_tasks pool
+        (Array.mapi
+           (fun k (lo, hi) () -> sim_range s shard_fs.(k) ~good ~lo ~hi)
+           bounds);
+      left := unresolved_count s
+    done;
+    let queries = Array.make (Array.length bounds) 0 in
+    Parallel.run_tasks pool
+      (Array.mapi
+         (fun k (lo, hi) () -> queries.(k) <- sat_range ?max_conflicts s ~lo ~hi)
+         bounds);
+    s.sat_queries <- Array.fold_left ( + ) 0 queries
+  end;
   finish_counts s
 
 (* ------------------------------------------------------------------ *)

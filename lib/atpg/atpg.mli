@@ -48,10 +48,20 @@ val classify :
   ?seed:int ->
   ?max_conflicts:int ->
   ?random_blocks:int ->
+  ?jobs:int ->
   Dfm_netlist.Netlist.t ->
   Dfm_faults.Fault.t array ->
   classification
-(** [random_blocks] 64-pattern blocks precede the SAT phase (default 16). *)
+(** [random_blocks] 64-pattern blocks precede the SAT phase (default 16).
+
+    [jobs] (default {!Dfm_util.Parallel.default_jobs}, i.e. [REPRO_JOBS] or
+    the machine's domain count) shards the fault list over that many worker
+    domains for both the random-simulation prefilter and the SAT phase.
+    Shards are contiguous ranges that are a pure function of the fault and
+    job counts, each worker owns its own simulator scratch and solver
+    state, and per-fault verdicts do not depend on each other — so the
+    classification is bit-identical to the sequential result for every
+    [jobs] value.  [jobs = 1] never spawns a domain. *)
 
 val generate :
   ?seed:int ->

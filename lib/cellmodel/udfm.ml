@@ -94,3 +94,5 @@ let for_cell name =
   | None -> raise Not_found
 
 let internal_fault_count name = List.length (for_cell name).entries
+
+let preload () = ignore (Lazy.force by_name : (string, t) Hashtbl.t)

@@ -39,3 +39,8 @@ val for_cell : string -> t
 val internal_fault_count : string -> int
 (** Number of internal faults one instance of the cell contributes — the
     quantity by which the paper orders library cells. *)
+
+val preload : unit -> unit
+(** Force the lazy characterization caches from the calling domain.  OCaml
+    [lazy] blocks are not safe to force concurrently; callers that hand
+    cells to {!Dfm_util.Parallel} workers force them up front. *)

@@ -34,7 +34,7 @@ type metrics = {
 
 let undetectable t fid = t.classification.Atpg.status.(fid) = Atpg.Undetectable
 
-let implement ?(seed = 3) ?floorplan ?utilization ?previous netlist =
+let implement ?(seed = 3) ?floorplan ?utilization ?previous ?jobs netlist =
   let floorplan =
     match floorplan with
     | Some fp -> fp
@@ -46,7 +46,9 @@ let implement ?(seed = 3) ?floorplan ?utilization ?previous netlist =
   let timing = Dfm_timing.Sta.analyze routing in
   let power = Dfm_timing.Power.analyze ~seed routing in
   let fault_list = Dfm_guidelines.Translate.build routing in
-  let classification = Atpg.classify ~seed netlist fault_list.Dfm_guidelines.Translate.faults in
+  let classification =
+    Atpg.classify ~seed ?jobs netlist fault_list.Dfm_guidelines.Translate.faults
+  in
   let cluster =
     Cluster.compute netlist fault_list.Dfm_guidelines.Translate.faults
       ~undetectable:(fun fid -> classification.Atpg.status.(fid) = Atpg.Undetectable)

@@ -40,12 +40,16 @@ val implement :
   ?floorplan:Dfm_layout.Floorplan.t ->
   ?utilization:float ->
   ?previous:t ->
+  ?jobs:int ->
   Dfm_netlist.Netlist.t ->
   t
 (** Run the whole pipeline.  When [floorplan] is given the design must fit
     it (raises {!Dfm_layout.Place.Does_not_fit} otherwise) — that is how the
     fixed-die constraint of the paper is enforced.  [previous] enables
-    incremental (ECO) placement relative to an earlier design point. *)
+    incremental (ECO) placement relative to an earlier design point.
+    [jobs] shards the ATPG classification over that many worker domains
+    (see {!Dfm_atpg.Atpg.classify}); the result is bit-identical for every
+    value. *)
 
 val metrics : t -> metrics
 

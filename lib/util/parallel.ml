@@ -1,0 +1,183 @@
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work : Condition.t;       (* workers: a new batch is available *)
+  finished : Condition.t;   (* submitter: the batch has drained *)
+  mutable batch : (unit -> unit) array;
+  mutable next : int;       (* next unclaimed task of the batch *)
+  mutable remaining : int;  (* claimed-but-unfinished + unclaimed tasks *)
+  mutable generation : int;
+  mutable busy : bool;      (* a batch is in flight (reentrancy guard) *)
+  mutable stop : bool;
+  mutable failure : exn option;
+  mutable domains : unit Domain.t list;
+}
+
+(* Claim and run tasks of the current batch until none are left.  Claims are
+   serialized by the pool mutex; the task bodies run unlocked. *)
+let drain t =
+  let continue = ref true in
+  while !continue do
+    Mutex.lock t.mutex;
+    if t.next < Array.length t.batch then begin
+      let i = t.next in
+      t.next <- i + 1;
+      let task = t.batch.(i) in
+      Mutex.unlock t.mutex;
+      let failed = try task (); None with e -> Some e in
+      Mutex.lock t.mutex;
+      (match failed with
+      | Some e when t.failure = None -> t.failure <- Some e
+      | Some _ | None -> ());
+      t.remaining <- t.remaining - 1;
+      if t.remaining = 0 then Condition.broadcast t.finished;
+      Mutex.unlock t.mutex
+    end
+    else begin
+      Mutex.unlock t.mutex;
+      continue := false
+    end
+  done
+
+let worker t () =
+  let last = ref 0 in
+  let continue = ref true in
+  while !continue do
+    Mutex.lock t.mutex;
+    while (not t.stop) && t.generation = !last do
+      Condition.wait t.work t.mutex
+    done;
+    if t.stop then begin
+      Mutex.unlock t.mutex;
+      continue := false
+    end
+    else begin
+      last := t.generation;
+      Mutex.unlock t.mutex;
+      drain t
+    end
+  done
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      batch = [||];
+      next = 0;
+      remaining = 0;
+      generation = 0;
+      busy = false;
+      stop = false;
+      failure = None;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (worker t));
+  t
+
+let jobs t = t.jobs
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let run_sequential tasks = Array.iter (fun task -> task ()) tasks
+
+let run_tasks t tasks =
+  let n = Array.length tasks in
+  if n = 0 then ()
+  else if t.jobs = 1 || n = 1 || t.stop then run_sequential tasks
+  else begin
+    Mutex.lock t.mutex;
+    if t.busy then begin
+      (* Nested submission from inside a task: degrade to the caller. *)
+      Mutex.unlock t.mutex;
+      run_sequential tasks
+    end
+    else begin
+      t.busy <- true;
+      t.batch <- tasks;
+      t.next <- 0;
+      t.remaining <- n;
+      t.failure <- None;
+      t.generation <- t.generation + 1;
+      Condition.broadcast t.work;
+      Mutex.unlock t.mutex;
+      drain t;
+      Mutex.lock t.mutex;
+      while t.remaining > 0 do
+        Condition.wait t.finished t.mutex
+      done;
+      let failure = t.failure in
+      t.batch <- [||];
+      t.next <- 0;
+      t.failure <- None;
+      t.busy <- false;
+      Mutex.unlock t.mutex;
+      match failure with Some e -> raise e | None -> ()
+    end
+  end
+
+let map t f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    run_tasks t (Array.init n (fun i () -> out.(i) <- Some (f xs.(i))));
+    Array.map (function Some y -> y | None -> assert false) out
+  end
+
+let chunk_bounds ~chunk n =
+  let chunk = max 1 chunk in
+  let nchunks = (n + chunk - 1) / chunk in
+  Array.init nchunks (fun k -> (k * chunk, min n ((k + 1) * chunk)))
+
+(* ------------------------------------------------------------------ *)
+(* Global default pool                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let recommended_jobs () =
+  match Sys.getenv_opt "REPRO_JOBS" with
+  | Some s -> ( match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 -> j
+    | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let default = ref None        (* the global pool, if spawned *)
+let chosen_jobs = ref None    (* --jobs override *)
+
+let default_jobs () =
+  match !chosen_jobs with Some j -> j | None -> recommended_jobs ()
+
+let set_default_jobs j = chosen_jobs := Some (max 1 j)
+
+let at_exit_registered = ref false
+
+let get ?jobs () =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  match !default with
+  | Some t when t.jobs = jobs -> t
+  | prev ->
+      Option.iter shutdown prev;
+      let t = create ~jobs in
+      default := Some t;
+      if not !at_exit_registered then begin
+        at_exit_registered := true;
+        at_exit (fun () -> Option.iter shutdown !default)
+      end;
+      t
+
+let parallel_map ?jobs f xs = map (get ?jobs ()) f xs
+
+let parallel_chunks ?jobs ~chunk n f =
+  let pool = get ?jobs () in
+  let bounds = chunk_bounds ~chunk n in
+  run_tasks pool (Array.map (fun (lo, hi) -> fun () -> f lo hi) bounds)

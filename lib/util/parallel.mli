@@ -1,0 +1,63 @@
+(** A reusable fixed-size Domain worker pool.
+
+    The pool owns [jobs - 1] worker domains; the submitting domain always
+    participates, so a pool of size [j] runs at most [j] tasks at once.  At
+    [jobs = 1] no domains are ever spawned and every entry point degrades to
+    a plain sequential loop in the caller — the guaranteed fallback the
+    deterministic-sharding contract of the ATPG engine builds on.
+
+    Tasks of one batch are claimed dynamically (any worker may run any
+    task), so callers must make tasks write to disjoint state; determinism
+    is obtained by making each task a pure function of its own index, never
+    of the worker that happens to execute it.
+
+    Batches are not reentrant: a task that submits another batch to the same
+    pool runs that inner batch sequentially in its own domain. *)
+
+type t
+
+val create : jobs:int -> t
+(** Spawn a pool with [max 1 jobs] slots ([jobs - 1] worker domains). *)
+
+val jobs : t -> int
+
+val shutdown : t -> unit
+(** Join the worker domains.  The pool must be idle; using it afterwards
+    runs everything sequentially in the caller. *)
+
+val run_tasks : t -> (unit -> unit) array -> unit
+(** Run every task to completion.  The first exception raised by a task is
+    re-raised in the caller after the whole batch has drained. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving parallel map. *)
+
+val chunk_bounds : chunk:int -> int -> (int * int) array
+(** [chunk_bounds ~chunk n] partitions [0 .. n-1] into contiguous [(lo, hi)]
+    half-open ranges of length at most [chunk].  A pure function of
+    [(chunk, n)] — the sharding used for deterministic merges. *)
+
+(** {1 Global default pool}
+
+    Sized from the [REPRO_JOBS] environment variable when set, otherwise
+    {!Domain.recommended_domain_count}; overridable by the [--jobs] CLI
+    flag via {!set_default_jobs}. *)
+
+val recommended_jobs : unit -> int
+
+val default_jobs : unit -> int
+
+val set_default_jobs : int -> unit
+
+val get : ?jobs:int -> unit -> t
+(** The shared global pool, (re)sized to [jobs] (default {!default_jobs}).
+    Shut down automatically at exit. *)
+
+val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** {!map} on the global pool. *)
+
+val parallel_chunks : ?jobs:int -> chunk:int -> int -> (int -> int -> unit) -> unit
+(** [parallel_chunks ~chunk n f] calls [f lo hi] for every range of
+    {!chunk_bounds}, in parallel on the global pool.  The set of ranges —
+    and therefore any per-range result keyed by [lo] — does not depend on
+    the job count. *)

@@ -4,6 +4,8 @@ let () =
   Alcotest.run "dfm_resynthesis"
     [
       ("util", Test_util.suite);
+      ("parallel", Test_parallel.suite);
+      ("properties", Test_properties.suite);
       ("logic", Test_logic.suite);
       ("sat", Test_sat.suite);
       ("netlist", Test_netlist.suite);

@@ -1,0 +1,177 @@
+(* Tests for Dfm_util.Parallel and the determinism contract of the sharded
+   fault-classification engine: any job count must produce bit-identical
+   results to the sequential run. *)
+
+module Parallel = Dfm_util.Parallel
+module N = Dfm_netlist.Netlist
+module B = N.Builder
+module Cell = Dfm_netlist.Cell
+module F = Dfm_faults.Fault
+module Atpg = Dfm_atpg.Atpg
+module Rng = Dfm_util.Rng
+module Design = Dfm_core.Design
+
+let lib = Dfm_cellmodel.Osu018.library
+let origin = { F.category = Dfm_cellmodel.Defect.Via; guideline_index = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Worker pool                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_matches_sequential () =
+  let xs = Array.init 1000 (fun i -> i) in
+  let f x = (x * x) + 7 in
+  let expected = Array.map f xs in
+  List.iter
+    (fun jobs ->
+      let pool = Parallel.create ~jobs in
+      let got = Parallel.map pool f xs in
+      Parallel.shutdown pool;
+      Alcotest.(check bool) (Printf.sprintf "map at %d jobs" jobs) true (got = expected))
+    [ 1; 2; 4; 7 ]
+
+let test_chunk_bounds () =
+  List.iter
+    (fun (chunk, n) ->
+      let bounds = Parallel.chunk_bounds ~chunk n in
+      (* ranges tile [0, n) exactly, in order, each at most [chunk] long *)
+      let covered = ref 0 in
+      Array.iter
+        (fun (lo, hi) ->
+          Alcotest.(check int) "contiguous" !covered lo;
+          Alcotest.(check bool) "non-empty" true (hi > lo);
+          Alcotest.(check bool) "at most chunk" true (hi - lo <= max 1 chunk);
+          covered := hi)
+        bounds;
+      Alcotest.(check int) (Printf.sprintf "covers 0..%d" n) n !covered)
+    [ (1, 5); (3, 10); (10, 10); (64, 1000); (1000, 64); (7, 0) ]
+
+let test_run_tasks_disjoint_writes () =
+  let pool = Parallel.create ~jobs:4 in
+  let out = Array.make 997 0 in
+  let bounds = Parallel.chunk_bounds ~chunk:13 (Array.length out) in
+  Parallel.run_tasks pool
+    (Array.map
+       (fun (lo, hi) () ->
+         for i = lo to hi - 1 do
+           out.(i) <- i * 3
+         done)
+       bounds);
+  Parallel.shutdown pool;
+  Alcotest.(check bool) "all slots written" true
+    (Array.for_all (fun v -> v >= 0) out && out.(996) = 996 * 3 && out.(0) = 0)
+
+exception Boom
+
+let test_exception_propagates () =
+  let pool = Parallel.create ~jobs:3 in
+  (try
+     Parallel.run_tasks pool
+       (Array.init 20 (fun i () -> if i = 11 then raise Boom));
+     Alcotest.fail "expected Boom"
+   with Boom -> ());
+  (* the pool survives a failed batch *)
+  let ok = Parallel.map pool (fun x -> x + 1) [| 1; 2; 3 |] in
+  Parallel.shutdown pool;
+  Alcotest.(check bool) "pool usable after failure" true (ok = [| 2; 3; 4 |])
+
+let test_nested_submission_degrades () =
+  let pool = Parallel.create ~jobs:2 in
+  let hits = Array.make 4 0 in
+  Parallel.run_tasks pool
+    [|
+      (fun () ->
+        (* a task fanning out on the same pool must not deadlock *)
+        Parallel.run_tasks pool (Array.init 4 (fun i () -> hits.(i) <- hits.(i) + 1)));
+      (fun () -> ());
+    |];
+  Parallel.shutdown pool;
+  Alcotest.(check bool) "inner batch ran" true (Array.for_all (fun v -> v = 1) hits)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism of the sharded classification                            *)
+(* ------------------------------------------------------------------ *)
+
+let random_netlist seed npis ngates =
+  let rng = Rng.create seed in
+  let b = B.create ~name:"par" lib in
+  let nets = ref [] in
+  for i = 0 to npis - 1 do
+    nets := B.add_pi b (Printf.sprintf "i%d" i) :: !nets
+  done;
+  let cells = [| "INVX1"; "NAND2X1"; "NOR2X1"; "XOR2X1"; "AOI21X1"; "OAI21X1" |] in
+  for _ = 1 to ngates do
+    let arr = Array.of_list !nets in
+    let cname = Rng.pick rng cells in
+    let c = Dfm_netlist.Library.find lib cname in
+    let fanins = Array.init (Cell.arity c) (fun _ -> Rng.pick rng arr) in
+    nets := B.add_gate b ~cell:cname fanins :: !nets
+  done;
+  List.iteri (fun i n -> if i < 3 then B.mark_po b (Printf.sprintf "o%d" i) n) !nets;
+  B.finish b
+
+let all_faults nl =
+  let faults = ref [] in
+  let id = ref 0 in
+  let add kind =
+    faults := { F.fault_id = !id; kind; origin } :: !faults;
+    incr id
+  in
+  Array.iter
+    (fun (nn : N.net) ->
+      List.iter (fun pol -> add (F.Stuck (F.On_net nn.N.net_id, pol))) [ F.Sa0; F.Sa1 ];
+      List.iter
+        (fun tr -> add (F.Transition (F.On_net nn.N.net_id, tr)))
+        [ F.Slow_to_rise; F.Slow_to_fall ])
+    nl.N.nets;
+  Array.iteri
+    (fun gid (g : N.gate) ->
+      let u = Dfm_cellmodel.Udfm.for_cell g.N.cell.Cell.name in
+      List.iteri (fun entry_idx _ -> add (F.Internal (gid, entry_idx))) u.Dfm_cellmodel.Udfm.entries)
+    nl.N.gates;
+  Array.of_list (List.rev !faults)
+
+let test_classify_jobs_bit_identical () =
+  List.iter
+    (fun seed ->
+      let nl = random_netlist seed 5 25 in
+      let faults = all_faults nl in
+      let ref_cls = Atpg.classify ~jobs:1 nl faults in
+      List.iter
+        (fun jobs ->
+          let cls = Atpg.classify ~jobs nl faults in
+          Alcotest.(check bool)
+            (Printf.sprintf "status arrays identical (seed %d, %d jobs)" seed jobs)
+            true
+            (cls.Atpg.status = ref_cls.Atpg.status);
+          Alcotest.(check bool)
+            (Printf.sprintf "counts identical (seed %d, %d jobs)" seed jobs)
+            true (cls.Atpg.counts = ref_cls.Atpg.counts))
+        [ 2; 3; 4; 9 ])
+    [ 11; 222; 3333 ]
+
+(* The ISSUE-level regression: a full Design.implement of a benchmark block
+   at jobs=1 and jobs=4 gives identical per-fault statuses and identical
+   metrics. *)
+let test_design_implement_jobs_deterministic () =
+  let nl = Dfm_circuits.Circuits.build ~scale:0.25 "sparc_ffu" in
+  let d1 = Design.implement ~jobs:1 nl in
+  let d4 = Design.implement ~jobs:4 nl in
+  Alcotest.(check bool) "per-fault status arrays identical" true
+    (d1.Design.classification.Atpg.status = d4.Design.classification.Atpg.status);
+  Alcotest.(check bool) "counts identical" true
+    (d1.Design.classification.Atpg.counts = d4.Design.classification.Atpg.counts);
+  Alcotest.(check bool) "Design.metrics identical" true
+    (Design.metrics d1 = Design.metrics d4)
+
+let suite =
+  [
+    Alcotest.test_case "map matches sequential" `Quick test_map_matches_sequential;
+    Alcotest.test_case "chunk bounds tile the range" `Quick test_chunk_bounds;
+    Alcotest.test_case "run_tasks disjoint writes" `Quick test_run_tasks_disjoint_writes;
+    Alcotest.test_case "exceptions propagate" `Quick test_exception_propagates;
+    Alcotest.test_case "nested submission degrades" `Quick test_nested_submission_degrades;
+    Alcotest.test_case "classify bit-identical across jobs" `Quick test_classify_jobs_bit_identical;
+    Alcotest.test_case "Design.implement deterministic across jobs" `Slow
+      test_design_implement_jobs_deterministic;
+  ]

@@ -1,0 +1,289 @@
+(* Property-based differential tests.
+
+   Two engine pairs are cross-checked on random inputs:
+
+   - [Fault_sim.detect_word] (event-driven, fanout-cone-only propagation)
+     against a brute-force faulty-copy resimulation that recomputes every
+     net of the circuit with the fault injected;
+
+   - the Tseitin CNF encodings of [Dfm_sat] against exhaustive truth-table
+     enumeration, assignment by assignment. *)
+
+module N = Dfm_netlist.Netlist
+module B = N.Builder
+module Cell = Dfm_netlist.Cell
+module F = Dfm_faults.Fault
+module Ls = Dfm_sim.Logic_sim
+module Fs = Dfm_sim.Fault_sim
+module Rng = Dfm_util.Rng
+module Tt = Dfm_logic.Truthtable
+module Solver = Dfm_sat.Solver
+module Tseitin = Dfm_sat.Tseitin
+
+let lib = Dfm_cellmodel.Osu018.library
+let origin = { F.category = Dfm_cellmodel.Defect.Via; guideline_index = 0 }
+
+let random_netlist seed npis ngates =
+  let rng = Rng.create seed in
+  let b = B.create ~name:"prop" lib in
+  let nets = ref [] in
+  for i = 0 to npis - 1 do
+    nets := B.add_pi b (Printf.sprintf "i%d" i) :: !nets
+  done;
+  let cells = [| "INVX1"; "NAND2X1"; "NOR2X1"; "XOR2X1"; "AOI21X1"; "OAI21X1" |] in
+  for _ = 1 to ngates do
+    let arr = Array.of_list !nets in
+    let cname = Rng.pick rng cells in
+    let c = Dfm_netlist.Library.find lib cname in
+    let fanins = Array.init (Cell.arity c) (fun _ -> Rng.pick rng arr) in
+    nets := B.add_gate b ~cell:cname fanins :: !nets
+  done;
+  List.iteri (fun i n -> if i < 3 then B.mark_po b (Printf.sprintf "o%d" i) n) !nets;
+  B.finish b
+
+(* ------------------------------------------------------------------ *)
+(* detect_word vs brute-force faulty-copy resimulation                  *)
+(* ------------------------------------------------------------------ *)
+
+let eval_tt_words (f : Tt.t) ws =
+  let n = Tt.arity f in
+  let out = ref 0L in
+  for m = 0 to (1 lsl n) - 1 do
+    if Tt.eval_index f m then begin
+      let term = ref (-1L) in
+      for k = 0 to n - 1 do
+        term := Int64.logand !term (if (m lsr k) land 1 = 1 then ws.(k) else Int64.lognot ws.(k))
+      done;
+      out := Int64.logor !out !term
+    end
+  done;
+  !out
+
+let minterm_word ws minterms =
+  let n = Array.length ws in
+  List.fold_left
+    (fun acc m ->
+      let term = ref (-1L) in
+      for k = 0 to n - 1 do
+        term := Int64.logand !term (if (m lsr k) land 1 = 1 then ws.(k) else Int64.lognot ws.(k))
+      done;
+      Int64.logor acc !term)
+    0L minterms
+
+let forced_word = function F.Sa0 -> 0L | F.Sa1 -> -1L
+
+(* Recompute every net with the fault injected; no event propagation, no
+   cones — the clumsy-but-obvious reference implementation. *)
+let brute_detect_word nl (f : F.t) ~good words =
+  let values = Array.make (N.num_nets nl) 0L in
+  let override_net n = match f.F.kind with
+    | F.Stuck (F.On_net fn, pol) when fn = n -> values.(n) <- forced_word pol
+    | F.Transition (F.On_net fn, tr) when fn = n ->
+        (* frame-2 component: the site behaves as the matching stuck-at *)
+        values.(n) <-
+          forced_word (match tr with F.Slow_to_rise -> F.Sa0 | F.Slow_to_fall -> F.Sa1)
+    | F.Bridge (n1, n2, k) when n = n1 || n = n2 ->
+        (* resolution over the fault-free values, as in the simulator's
+           bridge model; the test only generates independent net pairs *)
+        values.(n) <-
+          (match k with
+          | F.Wired_and -> Int64.logand good.(n1) good.(n2)
+          | F.Wired_or -> Int64.logor good.(n1) good.(n2))
+    | _ -> ()
+  in
+  List.iteri
+    (fun i (_, nid) ->
+      values.(nid) <- words.(i);
+      override_net nid)
+    (N.input_nets nl);
+  Array.iter
+    (fun (nn : N.net) ->
+      match nn.N.driver with
+      | N.Const v ->
+          values.(nn.N.net_id) <- (if v then -1L else 0L);
+          override_net nn.N.net_id
+      | N.Pi _ | N.Gate_out _ -> ())
+    nl.N.nets;
+  Array.iter
+    (fun gid ->
+      let g = N.gate nl gid in
+      let ins = Array.map (fun n -> values.(n)) g.N.fanins in
+      (match f.F.kind with
+      | F.Stuck (F.On_pin (fg, pin), pol) when fg = gid -> ins.(pin) <- forced_word pol
+      | _ -> ());
+      let out = ref (eval_tt_words g.N.cell.Cell.func ins) in
+      (match f.F.kind with
+      | F.Internal (fg, entry_idx) when fg = gid ->
+          (* when activated the defective cell inverts its output; the
+             activation condition is over the cell's own input values *)
+          let u = Dfm_cellmodel.Udfm.for_cell g.N.cell.Cell.name in
+          let entry = List.nth u.Dfm_cellmodel.Udfm.entries entry_idx in
+          out := Int64.logxor !out (minterm_word ins entry.Dfm_cellmodel.Udfm.activation)
+      | _ -> ());
+      values.(g.N.fanout) <- !out;
+      override_net g.N.fanout)
+    (N.topo_order nl);
+  List.fold_left
+    (fun acc (_, n) -> Int64.logor acc (Int64.logxor good.(n) values.(n)))
+    0L (N.observe_nets nl)
+
+(* Forward reachability over nets, for picking independent bridge pairs. *)
+let downstream nl =
+  let reach = Array.init (N.num_nets nl) (fun n -> [ n ]) in
+  let order = N.topo_order nl in
+  (* process gates in reverse topo order: out's reachable set feeds fanins *)
+  for i = Array.length order - 1 downto 0 do
+    let g = N.gate nl order.(i) in
+    Array.iter
+      (fun fn -> reach.(fn) <- List.sort_uniq compare (reach.(g.N.fanout) @ reach.(fn)))
+      g.N.fanins
+  done;
+  fun a b -> List.mem b reach.(a)
+
+let faults_of_netlist nl rng =
+  let faults = ref [] in
+  let id = ref 0 in
+  let add kind =
+    faults := { F.fault_id = !id; kind; origin } :: !faults;
+    incr id
+  in
+  Array.iter
+    (fun (nn : N.net) ->
+      List.iter (fun pol -> add (F.Stuck (F.On_net nn.N.net_id, pol))) [ F.Sa0; F.Sa1 ];
+      List.iter
+        (fun tr -> add (F.Transition (F.On_net nn.N.net_id, tr)))
+        [ F.Slow_to_rise; F.Slow_to_fall ])
+    nl.N.nets;
+  Array.iteri
+    (fun gid (g : N.gate) ->
+      Array.iteri
+        (fun pin _ ->
+          List.iter (fun pol -> add (F.Stuck (F.On_pin (gid, pin), pol))) [ F.Sa0; F.Sa1 ])
+        g.N.fanins;
+      let u = Dfm_cellmodel.Udfm.for_cell g.N.cell.Cell.name in
+      List.iteri
+        (fun entry_idx _ -> if entry_idx < 4 then add (F.Internal (gid, entry_idx)))
+        u.Dfm_cellmodel.Udfm.entries)
+    nl.N.gates;
+  (* a few bridges between independent nets (neither reaches the other) *)
+  let reaches = downstream nl in
+  let nn = N.num_nets nl in
+  for _ = 1 to 8 do
+    let a = Rng.int rng nn and b = Rng.int rng nn in
+    if a <> b && (not (reaches a b)) && not (reaches b a) then
+      List.iter (fun k -> add (F.Bridge (a, b, k))) [ F.Wired_and; F.Wired_or ]
+  done;
+  List.rev !faults
+
+let prop_detect_word_vs_brute =
+  QCheck.Test.make ~name:"detect_word matches brute-force faulty resimulation" ~count:20
+    QCheck.(pair (int_range 1 10000) (int_range 3 12))
+    (fun (seed, ngates) ->
+      let nl = random_netlist seed 4 ngates in
+      let rng = Rng.create (seed lxor 0x5eed) in
+      let faults = faults_of_netlist nl rng in
+      let ls = Ls.prepare nl in
+      let fs = Fs.prepare nl in
+      List.for_all
+        (fun _block ->
+          let words = Ls.random_words ls rng in
+          let good = Ls.run ls words in
+          List.for_all
+            (fun (f : F.t) ->
+              let fast = Fs.detect_word fs ~good f in
+              let brute = brute_detect_word nl f ~good words in
+              if fast <> brute then
+                QCheck.Test.fail_reportf "fault %d (%s): detect_word %Lx but brute force %Lx"
+                  f.F.fault_id (F.describe nl f) fast brute
+              else true)
+            faults)
+        [ 1; 2 ])
+
+(* init_word: the frame-1 condition is by definition the word of patterns
+   putting the site at the pre-transition value. *)
+let prop_init_word =
+  QCheck.Test.make ~name:"init_word is the pre-transition site condition" ~count:20
+    QCheck.(int_range 1 10000)
+    (fun seed ->
+      let nl = random_netlist seed 4 8 in
+      let ls = Ls.prepare nl in
+      let fs = Fs.prepare nl in
+      let rng = Rng.create seed in
+      let words = Ls.random_words ls rng in
+      let good = Ls.run ls words in
+      Array.for_all
+        (fun (nn : N.net) ->
+          List.for_all
+            (fun (tr, expect) ->
+              let f = { F.fault_id = 0; kind = F.Transition (F.On_net nn.N.net_id, tr); origin } in
+              Fs.init_word fs ~good f = expect nn.N.net_id)
+            [
+              (F.Slow_to_rise, fun n -> Int64.lognot good.(n));
+              (F.Slow_to_fall, fun n -> good.(n));
+            ])
+        nl.N.nets)
+
+(* ------------------------------------------------------------------ *)
+(* Tseitin CNF vs truth-table enumeration                               *)
+(* ------------------------------------------------------------------ *)
+
+let lit v b = if b then v else -v
+
+(* Build a fresh solver encoding [out = tt(ins)] with the inputs pinned to
+   assignment [m], then ask whether [out = value] is satisfiable. *)
+let tseitin_sat tt m value =
+  let s = Solver.create () in
+  let ins = Array.init (Tt.arity tt) (fun _ -> Solver.new_var s) in
+  let out = Solver.new_var s in
+  Tseitin.of_truthtable s ~out ins tt;
+  Array.iteri (fun k v -> Solver.add_clause s [ lit v ((m lsr k) land 1 = 1) ]) ins;
+  Solver.add_clause s [ lit out value ];
+  match Solver.solve s with
+  | Solver.Sat -> true
+  | Solver.Unsat -> false
+  | Solver.Unknown -> QCheck.Test.fail_report "unbounded solve returned Unknown"
+
+let prop_tseitin_vs_truth_table =
+  QCheck.Test.make ~name:"Tseitin of_truthtable matches truth-table enumeration" ~count:60
+    QCheck.(pair (int_range 1 4) int64)
+    (fun (arity, bits) ->
+      let tt = Tt.of_bits ~arity bits in
+      List.for_all
+        (fun m ->
+          let expected = Tt.eval_index tt m in
+          (* the CNF must force exactly the tabulated output value *)
+          tseitin_sat tt m expected && not (tseitin_sat tt m (not expected)))
+        (List.init (1 lsl arity) (fun m -> m)))
+
+(* The gate helpers must agree with the equivalent truth tables. *)
+let prop_tseitin_gates =
+  QCheck.Test.make ~name:"Tseitin gate encoders match their truth tables" ~count:40
+    QCheck.(int_range 0 63)
+    (fun m ->
+      let check2 encode f =
+        let s = Solver.create () in
+        let a = Solver.new_var s and b = Solver.new_var s in
+        let out = Solver.new_var s in
+        encode s ~out a b;
+        Solver.add_clause s [ lit a (m land 1 = 1) ];
+        Solver.add_clause s [ lit b (m land 2 = 2) ];
+        Solver.add_clause s [ lit out (f (m land 1 = 1) (m land 2 = 2)) ];
+        Solver.solve s = Solver.Sat
+      in
+      check2 Tseitin.xor_ ( <> )
+      && check2 (fun s ~out a b -> Tseitin.and_ s ~out [ a; b ]) ( && )
+      && check2 (fun s ~out a b -> Tseitin.or_ s ~out [ a; b ]) ( || )
+      && check2
+           (fun s ~out a b ->
+             let sel = Solver.new_var s in
+             Solver.add_clause s [ lit sel (m land 4 = 4) ];
+             Tseitin.mux s ~out ~sel a b)
+           (fun a b -> if m land 4 = 4 then b else a))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_detect_word_vs_brute;
+    QCheck_alcotest.to_alcotest prop_init_word;
+    QCheck_alcotest.to_alcotest prop_tseitin_vs_truth_table;
+    QCheck_alcotest.to_alcotest prop_tseitin_gates;
+  ]
