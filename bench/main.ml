@@ -9,6 +9,7 @@
      ablation — Section IV restricted-library experiment
      choices  — ablations of this reproduction's own design choices
      scaling  — multicore fault classification at 1/2/4/8 domains
+     cache    — resynthesis with/without the incremental verdict cache
      micro    — Bechamel timings of the per-experiment kernels
 
    REPRO_SCALE scales the generated blocks (default 1.0);
@@ -22,7 +23,7 @@ module Circuits = Dfm_circuits.Circuits
 
 let sections =
   match Sys.getenv_opt "REPRO_SECTIONS" with
-  | None -> [ "table1"; "table2"; "fig2"; "ablation"; "choices"; "scaling"; "micro" ]
+  | None -> [ "table1"; "table2"; "fig2"; "ablation"; "choices"; "scaling"; "cache"; "micro" ]
   | Some s -> String.split_on_char ',' s |> List.map String.trim
 
 let wants s = List.mem s sections
@@ -359,6 +360,84 @@ let run_scaling () =
       Printf.printf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
+(* Cache: the incremental verdict cache across the resynthesis loop     *)
+(* ------------------------------------------------------------------ *)
+
+let run_cache () =
+  header "Cache: full resynthesis with and without the incremental verdict cache";
+  (* The two largest blocks of the selected subset: the deeper the q sweep
+     and the bigger the fault list, the more repeated cones the cache can
+     serve.  Both runs are fresh (no [resynth_of] memo) so the wall-clock
+     comparison is honest. *)
+  let picks =
+    List.sort
+      (fun a b ->
+        compare
+          (Dfm_netlist.Netlist.num_gates (netlist_of b))
+          (Dfm_netlist.Netlist.num_gates (netlist_of a)))
+      circuits_subset
+    |> List.filteri (fun i _ -> i < 2)
+  in
+  let trace_shape (r : Resynth.result) =
+    List.map
+      (fun (e : Resynth.event) ->
+        (e.Resynth.ev_q, e.Resynth.ev_phase, e.Resynth.ev_action, e.Resynth.ev_u,
+         e.Resynth.ev_smax))
+      r.Resynth.trace
+  in
+  let rows =
+    List.map
+      (fun name ->
+        let d = design_of name in
+        let timed f =
+          let t0 = Unix.gettimeofday () in
+          let r = f () in
+          (Unix.gettimeofday () -. t0, r)
+        in
+        let t_plain, plain = timed (fun () -> Resynth.run d) in
+        let cache = Dfm_incr.Cache.create () in
+        let t_cached, cached = timed (fun () -> Resynth.run ~cache d) in
+        (* the invariant, at full scale: the cache must not steer the loop *)
+        let identical =
+          trace_shape plain = trace_shape cached
+          && Design.metrics plain.Resynth.final = Design.metrics cached.Resynth.final
+        in
+        let saved = plain.Resynth.sat_queries - cached.Resynth.sat_queries in
+        let e = Report.effort cached in
+        Printf.printf
+          "  %-11s SAT queries %6d -> %5d (%5.1fx)   hit rate %5.1f%%   %7.1fs -> %6.1fs (%4.2fx)   identical %b\n"
+          name plain.Resynth.sat_queries cached.Resynth.sat_queries
+          (float_of_int plain.Resynth.sat_queries
+          /. Float.max 1.0 (float_of_int cached.Resynth.sat_queries))
+          (100.0 *. e.Report.ef_hit_rate) t_plain t_cached
+          (t_plain /. Float.max 1e-9 t_cached)
+          identical;
+        (name, plain.Resynth.sat_queries, cached.Resynth.sat_queries, saved,
+         e.Report.ef_hit_rate, t_plain /. Float.max 1e-9 t_cached, identical))
+      picks
+  in
+  let json =
+    Printf.sprintf "{\"section\":\"cache\",\"results\":[%s]}"
+      (String.concat ","
+         (List.map
+            (fun (name, q0, q1, saved, hit_rate, speedup, identical) ->
+              Printf.sprintf
+                "{\"circuit\":\"%s\",\"sat_queries_uncached\":%d,\"sat_queries_cached\":%d,\
+                 \"sat_queries_saved\":%d,\"hit_rate\":%.4f,\"speedup\":%.3f,\
+                 \"identical\":%b}"
+                name q0 q1 saved hit_rate speedup identical)
+            rows))
+  in
+  Printf.printf "cache-json: %s\n" json;
+  match Sys.getenv_opt "REPRO_CACHE_JSON" with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (json ^ "\n");
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one kernel per experiment                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -431,6 +510,7 @@ let () =
   if wants "ablation" then run_ablation ();
   if wants "choices" then run_choices ();
   if wants "scaling" then run_scaling ();
+  if wants "cache" then run_cache ();
   if wants "micro" then run_micro ();
   print_newline ();
   print_endline "done."

@@ -30,6 +30,51 @@ let jobs_arg =
 
 let apply_jobs jobs = Option.iter Dfm_util.Parallel.set_default_jobs jobs
 
+let cache_dir_arg =
+  let doc =
+    "Directory for the persistent fault-verdict cache (default \\$REPRO_CACHE; unset \
+     disables caching).  Verdicts of structurally unchanged fault cones are reused across \
+     iterations and across invocations; results are bit-identical either way."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let expect_hits_arg =
+  let doc =
+    "Fail (exit 3) unless the verdict cache served at least one hit — used by the test \
+     suite to assert warm-cache behaviour."
+  in
+  Arg.(value & flag & info [ "expect-cache-hits" ] ~doc)
+
+let make_cache dir =
+  match (match dir with Some _ -> dir | None -> Sys.getenv_opt "REPRO_CACHE") with
+  | None -> None
+  | Some d -> Some (Dfm_incr.Cache.create ~dir:d ~log:(fun s -> Fmt.pr "%s@." s) ())
+
+let report_cache ~expect_hits cache =
+  match cache with
+  | None ->
+      if expect_hits then begin
+        Fmt.epr "--expect-cache-hits without a cache (--cache-dir or REPRO_CACHE)@.";
+        exit 3
+      end
+  | Some c ->
+      let st = Dfm_incr.Cache.stats c in
+      Fmt.pr "cache: %d hits / %d lookups (%.1f%% hit rate), %d new verdicts stored, %d from disk@."
+        st.Dfm_incr.Store.hits
+        (st.Dfm_incr.Store.hits + st.Dfm_incr.Store.misses)
+        (100.0 *. Dfm_incr.Cache.hit_rate c)
+        st.Dfm_incr.Store.stores st.Dfm_incr.Store.disk_loaded;
+      (match Dfm_incr.Cache.resweep_stats c with
+      | None -> ()
+      | Some r ->
+          Fmt.pr "cache: incremental resweeps reused %d/%d support hashes@."
+            r.Dfm_incr.Invalidate.support_reused r.Dfm_incr.Invalidate.nets_total);
+      Dfm_incr.Cache.close c;
+      if expect_hits && st.Dfm_incr.Store.hits = 0 then begin
+        Fmt.epr "expected cache hits, saw none@.";
+        exit 3
+      end
+
 let circuit_arg =
   let doc = "Benchmark block name (see the list subcommand)." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
@@ -76,12 +121,13 @@ let cells_cmd =
 (* ---- analyze ---- *)
 
 let analyze_cmd =
-  let run name scale jobs =
+  let run name scale jobs cache_dir expect_hits =
     apply_jobs jobs;
     let nl = build ?scale name in
     Fmt.pr "building and implementing %s (%d jobs) ...@." name
       (Dfm_util.Parallel.default_jobs ());
-    let d = Design.implement nl in
+    let cache = make_cache cache_dir in
+    let d = Design.implement ?cache nl in
     let m = Design.metrics d in
     Fmt.pr "%a@." N.pp_summary nl;
     Fmt.pr "%a@." Design.pp_metrics m;
@@ -91,10 +137,11 @@ let analyze_cmd =
     Fmt.pr "clusters of undetectable faults (largest 8 of %d): %s@." (List.length clusters)
       (String.concat " "
          (List.filteri (fun i _ -> i < 8) clusters
-         |> List.map (fun c -> string_of_int (List.length c))))
+         |> List.map (fun c -> string_of_int (List.length c))));
+    report_cache ~expect_hits cache
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Implement a block and report its fault clustering.")
-    Term.(const run $ circuit_arg $ scale_arg $ jobs_arg)
+    Term.(const run $ circuit_arg $ scale_arg $ jobs_arg $ cache_dir_arg $ expect_hits_arg)
 
 (* ---- resynth ---- *)
 
@@ -110,15 +157,18 @@ let resynth_cmd =
            ~doc:"Write the resynthesized netlist (text format) to \\$(docv).")
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print accepted steps.") in
-  let run name scale jobs q_max p1 out verbose =
+  let run name scale jobs cache_dir expect_hits q_max p1 out verbose =
     apply_jobs jobs;
     let nl = build ?scale name in
     Fmt.pr "implementing %s (%d jobs) ...@." name (Dfm_util.Parallel.default_jobs ());
-    let d0 = Design.implement nl in
+    let cache = make_cache cache_dir in
+    let d0 = Design.implement ?cache nl in
     Fmt.pr "original:      %a@." Design.pp_metrics (Design.metrics d0);
     let log = if verbose then fun s -> Fmt.pr "  %s@." s else fun _ -> () in
-    let r = Resynth.run ~p1_percent:p1 ~q_max ~log d0 in
+    let r = Resynth.run ~p1_percent:p1 ~q_max ?cache ~log d0 in
     Fmt.pr "resynthesized: %a@." Design.pp_metrics (Design.metrics r.Resynth.final);
+    Fmt.pr "effort: %a@." Report.pp_effort (Report.effort r);
+    report_cache ~expect_hits cache;
     let orig, resyn = Report.table2_rows ~name r in
     Fmt.pr "@[<v>Table-II rows:@,%a@,%a@,%a@]@." Report.pp_table2_header ()
       Report.pp_table2_row orig Report.pp_table2_row resyn;
@@ -137,7 +187,9 @@ let resynth_cmd =
   Cmd.v
     (Cmd.info "resynth"
        ~doc:"Run the two-phase resynthesis procedure of the paper on a block.")
-    Term.(const run $ circuit_arg $ scale_arg $ jobs_arg $ q_max $ p1 $ out $ verbose)
+    Term.(
+      const run $ circuit_arg $ scale_arg $ jobs_arg $ cache_dir_arg $ expect_hits_arg $ q_max
+      $ p1 $ out $ verbose)
 
 (* ---- ablate ---- *)
 

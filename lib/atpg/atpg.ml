@@ -134,18 +134,43 @@ let finish_counts s =
    bit-identical to the sequential ([jobs = 1]) run for any job count. *)
 let shard_bounds ~jobs nf = Parallel.chunk_bounds ~chunk:((nf + jobs - 1) / jobs) nf
 
-let classify ?(seed = 1) ?max_conflicts ?(random_blocks = 16) ?jobs nl faults =
+let classify ?(seed = 1) ?max_conflicts ?(random_blocks = 16) ?jobs ?cache nl faults =
   let nf = Array.length faults in
   let jobs =
     let j = match jobs with Some j -> j | None -> Parallel.default_jobs () in
     max 1 (min j (max 1 nf))
   in
   let s = make_state nl faults in
+  (* Cache consultation happens here in the coordinating domain, before any
+     worker is spawned, so the sharded phases see exactly the same disjoint
+     per-fault work in every configuration and the jobs=N bit-identity
+     argument is untouched.  Only semantic verdicts come out of the store
+     (no Aborted), so a hit can only skip the work the phases below would
+     have spent re-deriving the same verdict. *)
+  let cached = Array.make (max 1 nf) false in
+  let sigs =
+    match cache with
+    | None -> [||]
+    | Some c ->
+        let sigs = Dfm_incr.Cache.signatures c ?max_conflicts nl faults in
+        Array.iteri
+          (fun fid sg ->
+            match Dfm_incr.Cache.find c sg with
+            | Some Dfm_incr.Store.Detected ->
+                cached.(fid) <- true;
+                s.st.(fid) <- 1
+            | Some Dfm_incr.Store.Undetectable ->
+                cached.(fid) <- true;
+                s.st.(fid) <- 2
+            | None -> ())
+          sigs;
+        sigs
+  in
   let rng = Rng.create (seed + 77) in
   if jobs = 1 then begin
     (* Sequential reference path: no pool, no domains. *)
     let blocks = ref 0 in
-    let left = ref nf in
+    let left = ref (unresolved_count s) in
     while !blocks < random_blocks && !left > 0 do
       incr blocks;
       let good = Ls.run s.ls (Ls.random_words s.ls rng) in
@@ -164,7 +189,7 @@ let classify ?(seed = 1) ?max_conflicts ?(random_blocks = 16) ?jobs nl faults =
        arrays are shared, at disjoint indices. *)
     let shard_fs = Array.map (fun _ -> Fs.prepare nl) bounds in
     let blocks = ref 0 in
-    let left = ref nf in
+    let left = ref (unresolved_count s) in
     while !blocks < random_blocks && !left > 0 do
       incr blocks;
       (* Pattern words and the fault-free simulation are produced once by
@@ -183,6 +208,19 @@ let classify ?(seed = 1) ?max_conflicts ?(random_blocks = 16) ?jobs nl faults =
          bounds);
     s.sat_queries <- Array.fold_left ( + ) 0 queries
   end;
+  (* Publish the freshly derived verdicts (never the cached ones again, and
+     never Aborted: an abort is a budget artifact, not a semantic fact). *)
+  (match cache with
+  | None -> ()
+  | Some c ->
+      Array.iteri
+        (fun fid sg ->
+          if not cached.(fid) then
+            match s.st.(fid) with
+            | 1 -> Dfm_incr.Cache.record c sg Dfm_incr.Store.Detected
+            | 2 -> Dfm_incr.Cache.record c sg Dfm_incr.Store.Undetectable
+            | _ -> ())
+        sigs);
   finish_counts s
 
 (* ------------------------------------------------------------------ *)

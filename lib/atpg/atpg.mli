@@ -49,6 +49,7 @@ val classify :
   ?max_conflicts:int ->
   ?random_blocks:int ->
   ?jobs:int ->
+  ?cache:Dfm_incr.Cache.t ->
   Dfm_netlist.Netlist.t ->
   Dfm_faults.Fault.t array ->
   classification
@@ -61,7 +62,20 @@ val classify :
     job counts, each worker owns its own simulator scratch and solver
     state, and per-fault verdicts do not depend on each other — so the
     classification is bit-identical to the sequential result for every
-    [jobs] value.  [jobs = 1] never spawns a domain. *)
+    [jobs] value.  [jobs = 1] never spawns a domain.
+
+    [cache] consults a content-addressed verdict store before {e both} the
+    random-simulation prefilter and the SAT phase, and publishes the
+    freshly derived Detected/Undetectable verdicts afterwards.  Correctness
+    invariant: for any netlist and any warm or cold cache state the
+    classification is bit-identical to the uncached run — the cache may
+    only skip work, never change a verdict.  (Signatures include
+    [max_conflicts]; with a {e bounded} budget a warm cache can additionally
+    resolve faults that budget would have Aborted — strictly more
+    information, never a contradicting verdict.  At the default unbounded
+    budget no Aborted verdicts exist and the identity is exact.)  All cache
+    traffic happens in the coordinating domain, so the [jobs] bit-identity
+    above is preserved verbatim. *)
 
 val generate :
   ?seed:int ->

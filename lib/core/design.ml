@@ -34,7 +34,7 @@ type metrics = {
 
 let undetectable t fid = t.classification.Atpg.status.(fid) = Atpg.Undetectable
 
-let implement ?(seed = 3) ?floorplan ?utilization ?previous ?jobs netlist =
+let implement ?(seed = 3) ?floorplan ?utilization ?previous ?jobs ?cache netlist =
   let floorplan =
     match floorplan with
     | Some fp -> fp
@@ -47,7 +47,7 @@ let implement ?(seed = 3) ?floorplan ?utilization ?previous ?jobs netlist =
   let power = Dfm_timing.Power.analyze ~seed routing in
   let fault_list = Dfm_guidelines.Translate.build routing in
   let classification =
-    Atpg.classify ~seed ?jobs netlist fault_list.Dfm_guidelines.Translate.faults
+    Atpg.classify ~seed ?jobs ?cache netlist fault_list.Dfm_guidelines.Translate.faults
   in
   let cluster =
     Cluster.compute netlist fault_list.Dfm_guidelines.Translate.faults

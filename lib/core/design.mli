@@ -41,6 +41,7 @@ val implement :
   ?utilization:float ->
   ?previous:t ->
   ?jobs:int ->
+  ?cache:Dfm_incr.Cache.t ->
   Dfm_netlist.Netlist.t ->
   t
 (** Run the whole pipeline.  When [floorplan] is given the design must fit
@@ -49,7 +50,9 @@ val implement :
     incremental (ECO) placement relative to an earlier design point.
     [jobs] shards the ATPG classification over that many worker domains
     (see {!Dfm_atpg.Atpg.classify}); the result is bit-identical for every
-    value. *)
+    value.  [cache] is handed to the classification so verdicts of
+    structurally unchanged fault cones are reused instead of re-derived;
+    it too never changes a verdict (see {!Dfm_incr.Cache}). *)
 
 val metrics : t -> metrics
 

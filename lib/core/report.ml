@@ -131,6 +131,30 @@ let pp_table2_row ppf r =
     r.t2_circuit r.max_inc r.f r.u r.cov r.tests r.smax r.pct_smax_all r.smax_i r.pct_smax_i
     (100.0 *. r.delay_rel) (100.0 *. r.power_rel) r.rtime
 
+type effort = {
+  ef_implement_calls : int;
+  ef_sat_queries : int;
+  ef_cache_hits : int;
+  ef_hit_rate : float;
+}
+
+let effort (r : Resynth.result) =
+  let lookups = r.Resynth.sat_queries + r.Resynth.cache_hits in
+  {
+    ef_implement_calls = r.Resynth.implement_calls;
+    ef_sat_queries = r.Resynth.sat_queries;
+    ef_cache_hits = r.Resynth.cache_hits;
+    ef_hit_rate =
+      (* Of the verdicts that would otherwise have needed a SAT query, the
+         share served from the cache — a lower bound, since hits also skip
+         random-simulation work. *)
+      (if lookups = 0 then 0.0 else float_of_int r.Resynth.cache_hits /. float_of_int lookups);
+  }
+
+let pp_effort ppf e =
+  Format.fprintf ppf "implement calls %d, SAT queries %d, cache hits %d (%.1f%% of hard verdicts)"
+    e.ef_implement_calls e.ef_sat_queries e.ef_cache_hits (100.0 *. e.ef_hit_rate)
+
 type fig2_point = {
   step : int;
   phase : int;

@@ -35,6 +35,9 @@ type event = {
   ev_smax : int;
   ev_delay : float;
   ev_power : float;
+  ev_cache_hits : int;
+      (** verdict-cache hits spent reaching this design point, i.e. since
+          the previous event (0 when running without a cache) *)
 }
 
 type result = {
@@ -43,6 +46,11 @@ type result = {
   trace : event list;      (** in chronological order *)
   accepted : int;          (** accepted resynthesis steps *)
   implement_calls : int;   (** full synthesis+PD+ATPG iterations performed *)
+  sat_queries : int;
+      (** SAT queries spent across all classifications of the procedure
+          (implement calls and internal-only checks; the baseline run is
+          excluded) — the quantity the verdict cache saves *)
+  cache_hits : int;        (** verdict-cache hits of this run (0 uncached) *)
   elapsed_s : float;
   baseline_s : float;      (** duration of one implement call (Rtime unit) *)
 }
@@ -57,10 +65,18 @@ val run :
   ?seed:int ->
   ?sweep:bool ->
   ?context_levels:int ->
+  ?cache:Dfm_incr.Cache.t ->
   ?log:(string -> unit) ->
   Design.t ->
   result
 (** [sweep] (default true) lets Synthesize() SAT-sweep the extracted
     subcircuit; [context_levels] (default 2) is how many levels of fanin
     context are added to C_sub − G_zero (see DESIGN.md §5).  Both exist so
-    the design-choice ablations in the bench can quantify their effect. *)
+    the design-choice ablations in the bench can quantify their effect.
+
+    [cache] is one verdict store threaded through every classification the
+    procedure performs (candidate implement calls and the cheap
+    internal-only pre-checks).  Each iteration edits a local region, so
+    most fault cones — and therefore verdicts — carry over; the cache skips
+    their re-derivation without changing any result ({!Dfm_incr.Cache}).
+    The baseline timing run stays uncached, it is the comparison unit. *)

@@ -1,0 +1,62 @@
+module N = Dfm_netlist.Netlist
+module F = Dfm_faults.Fault
+
+type t = {
+  store : Store.t;
+  mutable last_sweep : Signature.sweep option;
+  mutable resweeps : Invalidate.stats option;  (* cumulative *)
+}
+
+let cache_file = "verdicts.bin"
+
+let create ?capacity ?dir ?log () =
+  let path =
+    Option.map
+      (fun dir ->
+        (try if not (Sys.file_exists dir) then Sys.mkdir dir 0o755 with Sys_error _ -> ());
+        Filename.concat dir cache_file)
+      dir
+  in
+  { store = Store.create ?capacity ?path ?log (); last_sweep = None; resweeps = None }
+
+let sweep_for t nl =
+  match t.last_sweep with
+  | Some sw when Signature.netlist sw == nl -> sw
+  | Some prev ->
+      let sw, st = Invalidate.resweep ~previous:prev nl in
+      let acc =
+        match t.resweeps with
+        | None -> st
+        | Some a ->
+            {
+              Invalidate.nets_total = a.Invalidate.nets_total + st.Invalidate.nets_total;
+              support_reused = a.Invalidate.support_reused + st.Invalidate.support_reused;
+              support_recomputed = a.Invalidate.support_recomputed + st.Invalidate.support_recomputed;
+            }
+      in
+      t.resweeps <- Some acc;
+      t.last_sweep <- Some sw;
+      sw
+  | None ->
+      let sw = Signature.sweep nl in
+      t.last_sweep <- Some sw;
+      sw
+
+let signatures t ?max_conflicts nl faults =
+  let sw = sweep_for t nl in
+  let params = Signature.default_params ?max_conflicts () in
+  Array.map (Signature.of_fault sw ~params) faults
+
+let find t sg = Store.find t.store sg
+
+let record t sg v = Store.add t.store sg v
+
+let stats t = Store.stats t.store
+
+let hit_rate t = Store.hit_rate t.store
+
+let resweep_stats t = t.resweeps
+
+let flush t = Store.flush t.store
+
+let close t = Store.close t.store

@@ -1,0 +1,43 @@
+(** The incremental-analysis façade the engine threads through a campaign:
+    one signature sweep per netlist (incrementally re-swept between
+    resynthesis steps, see [Invalidate]) in front of one verdict {!Store}.
+
+    Correctness invariant (enforced by the property tests, relied on by
+    [Atpg.classify]): for any netlist and any warm or cold cache state,
+    classification with a cache is bit-identical to the uncached run — the
+    cache may only skip work, never change a verdict.  This holds because
+    only semantic verdicts are stored ([Store.verdict] has no [Aborted]),
+    keys are full cone signatures with the ATPG parameters mixed in
+    ([Signature.params]), and lookups happen in the classify coordinator so
+    the jobs=N sharding determinism is untouched.
+
+    A cache is single-domain, like the coordinator that owns it. *)
+
+type t
+
+val create : ?capacity:int -> ?dir:string -> ?log:(string -> unit) -> unit -> t
+(** [dir] enables the on-disk tier in [dir ^ "/verdicts.bin"], creating the
+    directory when needed; corrupted files are recovered best-effort (see
+    {!Store.create}).  Without [dir] the cache is memory-only. *)
+
+val signatures :
+  t -> ?max_conflicts:int -> Dfm_netlist.Netlist.t -> Dfm_faults.Fault.t array -> int64 array
+(** Cone signatures of the whole fault list.  The per-netlist sweep is
+    memoized: the same netlist (physical equality) reuses it outright, and a
+    different netlist is diffed against the previous sweep so only the
+    edited region's support hashes are recomputed. *)
+
+val find : t -> int64 -> Store.verdict option
+
+val record : t -> int64 -> Store.verdict -> unit
+
+val stats : t -> Store.stats
+
+val hit_rate : t -> float
+
+val resweep_stats : t -> Invalidate.stats option
+(** Cumulative incremental-sweep stats; [None] before any resweep. *)
+
+val flush : t -> unit
+
+val close : t -> unit

@@ -1,0 +1,39 @@
+(* splitmix64 finalizer: the same avalanche the project's Rng is built on,
+   reused here as a pure mixing function rather than a stream. *)
+let finalize z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* boost-style hash_combine lifted to 64 bits: the golden-ratio constant
+   decorrelates consecutive accumulator states, the finalizer avalanches. *)
+let mix acc v =
+  finalize (Int64.add (Int64.logxor acc 0x9e3779b97f4a7c15L) (Int64.add v (Int64.shift_left acc 6)))
+
+let of_int i = finalize (Int64.of_int i)
+
+let of_bool b = if b then 0x9ae16a3b2f90404fL else 0xc3a5c85c97cb3127L
+
+let of_string s =
+  (* FNV-1a 64 over the bytes, avalanched so short strings still spread. *)
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  finalize !h
+
+let of_int_list l =
+  List.fold_left (fun acc i -> mix acc (Int64.of_int i)) (of_int (List.length l)) l
+
+let combine seed hs = List.fold_left mix seed hs
+
+(* Sum of avalanched elements: permutation-invariant, multiplicity-aware.
+   Each element is re-finalized against a distinct constant so that the sum
+   of two multisets only collides with avalanche-level probability. *)
+let combine_unordered hs =
+  finalize
+    (List.fold_left (fun acc h -> Int64.add acc (finalize (Int64.logxor h 0x2545f4914f6cdd1dL))) 0L hs)
+
+let to_hex h = Printf.sprintf "%016Lx" h

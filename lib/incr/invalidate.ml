@@ -1,0 +1,80 @@
+module N = Dfm_netlist.Netlist
+module Cell = Dfm_netlist.Cell
+module Tt = Dfm_logic.Truthtable
+
+type stats = { nets_total : int; support_reused : int; support_recomputed : int }
+
+(* name -> net id for uniquely-named nets; ambiguous names map to nothing
+   (their nets are simply recomputed). *)
+let unique_net_names nl =
+  let tbl = Hashtbl.create (N.num_nets nl) in
+  for n = 0 to N.num_nets nl - 1 do
+    let name = (N.net nl n).N.net_name in
+    match Hashtbl.find_opt tbl name with
+    | None -> Hashtbl.replace tbl name (Some n)
+    | Some _ -> Hashtbl.replace tbl name None
+  done;
+  tbl
+
+let is_source nl (net : N.net) =
+  match net.N.driver with
+  | N.Pi _ -> true
+  | N.Const _ -> false
+  | N.Gate_out g -> (N.gate nl g).N.cell.Cell.is_seq
+
+let resweep ~previous nl =
+  let old_nl = Signature.netlist previous in
+  let old_by_name = unique_net_names old_nl in
+  let new_by_name = unique_net_names nl in
+  let nn = N.num_nets nl in
+  (* clean.(n) = Some old_id: the full sweep would give [n] the same support
+     hash the previous sweep gave [old_id]. *)
+  let clean : int option array = Array.make nn None in
+  let matched n =
+    let name = (N.net nl n).N.net_name in
+    match Hashtbl.find_opt new_by_name name with
+    | Some (Some _) -> (
+        match Hashtbl.find_opt old_by_name name with Some (Some o) -> Some o | _ -> None)
+    | _ -> None
+  in
+  (* Sources and constants: the support hash depends only on the (unique)
+     name resp. the constant value, so a name match plus a driver-shape
+     match suffices. *)
+  for n = 0 to nn - 1 do
+    match matched n with
+    | None -> ()
+    | Some o -> (
+        let net = N.net nl n and onet = N.net old_nl o in
+        match (net.N.driver, onet.N.driver) with
+        | N.Const a, N.Const b -> if a = b then clean.(n) <- Some o
+        | _ ->
+            if is_source nl net && is_source old_nl onet then clean.(n) <- Some o)
+  done;
+  (* Combinational outputs, fanins before fanouts: clean iff the driving
+     gates compute the same truth table over pin-wise name-identical clean
+     fanins. *)
+  Array.iter
+    (fun gid ->
+      let g = N.gate nl gid in
+      let out = g.N.fanout in
+      match matched out with
+      | None -> ()
+      | Some o -> (
+          match (N.net old_nl o).N.driver with
+          | N.Gate_out og ->
+              let ogg = N.gate old_nl og in
+              if
+                (not ogg.N.cell.Cell.is_seq)
+                && Tt.equal g.N.cell.Cell.func ogg.N.cell.Cell.func
+                && Array.length g.N.fanins = Array.length ogg.N.fanins
+                && Array.for_all2
+                     (fun fn ofn ->
+                       clean.(fn) <> None
+                       && (N.net nl fn).N.net_name = (N.net old_nl ofn).N.net_name)
+                     g.N.fanins ogg.N.fanins
+              then clean.(out) <- Some o
+          | N.Pi _ | N.Const _ -> ()))
+    (N.topo_order nl);
+  let hint n = Option.map (Signature.support_hash previous) clean.(n) in
+  let sw, reused = Signature.sweep_reusing nl ~support_hint:hint in
+  (sw, { nets_total = nn; support_reused = reused; support_recomputed = nn - reused })

@@ -1,0 +1,31 @@
+(** Incremental re-signature after a resynthesis step.
+
+    [Netlist.replace] renumbers gates and nets, but keeps the {e names} of
+    everything outside the replaced region (inserted gates/nets get fresh
+    ["_r%d"]-suffixed names).  This module diffs the new netlist against the
+    previous {!Signature.sweep} by name and recomputes support hashes only
+    in the affected region: a net keeps its support hash iff its name-matched
+    predecessor had the same driver shape — same source, same constant, or a
+    combinational gate with the same truth table over name-identical,
+    themselves-clean fanins — i.e. iff no replaced gate lies in its fanin
+    cone.  Everything in the transitive fanout of a changed gate is
+    recomputed.  The fanout side needs no per-net state to patch: per-fault
+    cone hashes are derived on demand from the supports (memoized inside the
+    sweep), so faults whose cone avoids the edited region automatically
+    reproduce their old signatures.
+
+    Names are only an acceleration key, never trusted for equality: every
+    reused hash is justified by the structural driver match above, so a
+    duplicate or recycled name can only reduce reuse (a net whose name is
+    ambiguous in either netlist is always recomputed), not corrupt a
+    signature — [resweep] is observationally identical to a full
+    {!Signature.sweep}, which the property tests assert. *)
+
+type stats = {
+  nets_total : int;
+  support_reused : int;      (** hashes adopted from the previous sweep *)
+  support_recomputed : int;
+}
+
+val resweep :
+  previous:Signature.sweep -> Dfm_netlist.Netlist.t -> Signature.sweep * stats

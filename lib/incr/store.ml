@@ -1,0 +1,208 @@
+module H = Hash64
+
+type verdict = Detected | Undetectable
+
+type stats = {
+  hits : int;
+  misses : int;
+  stores : int;
+  evictions : int;
+  disk_loaded : int;
+  disk_dropped : int;
+}
+
+type t = {
+  tbl : (int64, verdict) Hashtbl.t;
+  order : int64 Queue.t;  (* insertion order, for FIFO eviction *)
+  capacity : int;
+  mutable chan : out_channel option;
+  log : string -> unit;
+  mutable hits : int;
+  mutable misses : int;
+  mutable stores : int;
+  mutable evictions : int;
+  mutable disk_loaded : int;
+  mutable disk_dropped : int;
+}
+
+(* ---- disk format ----------------------------------------------------
+   8-byte magic, then records: u16le payload length | payload | u64le
+   checksum.  The payload of a v1 record is u64le signature + 1 verdict
+   byte; the length prefix exists so a future version can grow the payload
+   without breaking old readers. *)
+
+let magic = "DFMVC01\n"
+let payload_len = 9
+
+let checksum ~len payload = H.mix (H.of_string payload) (H.of_int len)
+
+let record_bytes sg v =
+  let b = Bytes.create (2 + payload_len + 8) in
+  Bytes.set_uint16_le b 0 payload_len;
+  Bytes.set_int64_le b 2 sg;
+  Bytes.set_uint8 b 10 (match v with Detected -> 0 | Undetectable -> 1);
+  let payload = Bytes.sub_string b 2 payload_len in
+  Bytes.set_int64_le b 11 (checksum ~len:payload_len payload);
+  b
+
+(* Best-effort load: returns surviving records in file order, how many were
+   dropped, and whether the file must be compacted before appending (bad
+   tail / corrupt record would otherwise leave the log mis-framed). *)
+let load_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let ok = ref [] and dropped = ref 0 and rewrite = ref false in
+  let head = Bytes.create (String.length magic) in
+  (try
+     really_input ic head 0 (String.length magic);
+     if Bytes.to_string head <> magic then begin
+       incr dropped;
+       rewrite := true;
+       raise Exit
+     end;
+     let lenb = Bytes.create 2 and tail = Bytes.create (payload_len + 8) in
+     let rec loop () =
+       (match input_char ic with
+       | exception End_of_file -> raise Exit  (* clean end *)
+       | c0 -> Bytes.set lenb 0 c0);
+       Bytes.set lenb 1 (input_char ic);
+       let len = Bytes.get_uint16_le lenb 0 in
+       if len <> payload_len then begin
+         (* A corrupt length prefix means we no longer know where records
+            start: drop the rest of the file. *)
+         incr dropped;
+         rewrite := true;
+         raise Exit
+       end;
+       really_input ic tail 0 (len + 8);
+       let payload = Bytes.sub_string tail 0 len in
+       if Bytes.get_int64_le tail len <> checksum ~len payload then begin
+         incr dropped;
+         rewrite := true
+       end
+       else begin
+         let sg = Bytes.get_int64_le tail 0 in
+         match Bytes.get_uint8 tail 8 with
+         | 0 -> ok := (sg, Detected) :: !ok
+         | 1 -> ok := (sg, Undetectable) :: !ok
+         | _ ->
+             incr dropped;
+             rewrite := true
+       end;
+       loop ()
+     in
+     loop ()
+   with
+  | Exit -> ()
+  | End_of_file ->
+      (* truncated mid-record *)
+      incr dropped;
+      rewrite := true);
+  (List.rev !ok, !dropped, !rewrite)
+
+let write_all path records =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
+  output_string oc magic;
+  List.iter (fun (sg, v) -> output_bytes oc (record_bytes sg v)) records
+
+(* ---- store ---------------------------------------------------------- *)
+
+let adopt t sg v =
+  if not (Hashtbl.mem t.tbl sg) then begin
+    Hashtbl.replace t.tbl sg v;
+    Queue.push sg t.order;
+    if Hashtbl.length t.tbl > t.capacity then begin
+      Hashtbl.remove t.tbl (Queue.pop t.order);
+      t.evictions <- t.evictions + 1
+    end;
+    true
+  end
+  else false
+
+let create ?(capacity = 1_000_000) ?path ?(log = fun _ -> ()) () =
+  let t =
+    {
+      tbl = Hashtbl.create 4096;
+      order = Queue.create ();
+      capacity = max 1 capacity;
+      chan = None;
+      log;
+      hits = 0;
+      misses = 0;
+      stores = 0;
+      evictions = 0;
+      disk_loaded = 0;
+      disk_dropped = 0;
+    }
+  in
+  (match path with
+  | None -> ()
+  | Some path -> (
+      try
+        if Sys.file_exists path then begin
+          let records, dropped, rewrite = load_file path in
+          List.iter (fun (sg, v) -> if adopt t sg v then t.disk_loaded <- t.disk_loaded + 1) records;
+          t.disk_dropped <- dropped;
+          if dropped > 0 then
+            log
+              (Printf.sprintf
+                 "cache: recovered %s — kept %d record(s), dropped %d corrupted/truncated" path
+                 (List.length records) dropped);
+          if rewrite then write_all path records
+        end
+        else write_all path [];
+        t.chan <- Some (open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path)
+      with Sys_error e ->
+        log (Printf.sprintf "cache: disk tier disabled (%s)" e);
+        t.chan <- None));
+  t
+
+let find t sg =
+  match Hashtbl.find_opt t.tbl sg with
+  | Some v ->
+      t.hits <- t.hits + 1;
+      Some v
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let add t sg v =
+  if adopt t sg v then begin
+    t.stores <- t.stores + 1;
+    match t.chan with
+    | None -> ()
+    | Some oc -> (
+        try output_bytes oc (record_bytes sg v)
+        with Sys_error e ->
+          t.log (Printf.sprintf "cache: disk tier disabled (%s)" e);
+          close_out_noerr oc;
+          t.chan <- None)
+  end
+
+let mem_size t = Hashtbl.length t.tbl
+
+let stats t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    stores = t.stores;
+    evictions = t.evictions;
+    disk_loaded = t.disk_loaded;
+    disk_dropped = t.disk_dropped;
+  }
+
+let hit_rate t =
+  let n = t.hits + t.misses in
+  if n = 0 then 0.0 else float_of_int t.hits /. float_of_int n
+
+let flush t =
+  match t.chan with None -> () | Some oc -> ( try Stdlib.flush oc with Sys_error _ -> ())
+
+let close t =
+  match t.chan with
+  | None -> ()
+  | Some oc ->
+      (try Stdlib.flush oc with Sys_error _ -> ());
+      close_out_noerr oc;
+      t.chan <- None

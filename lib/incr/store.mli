@@ -1,0 +1,56 @@
+(** Content-addressed fault-verdict store: signature → verdict.
+
+    Only semantic verdicts are storable: {!verdict} has no [Aborted] case,
+    because an abort is a property of one solver run (budget, variable
+    order), not of the fault — caching it could change a later campaign's
+    outcome, which the correctness invariant forbids.
+
+    Two tiers.  The in-memory tier is a bounded hash table with FIFO
+    eviction.  The optional on-disk tier is a single append-only file:
+    every {!add} appends one length-prefixed, checksummed record, and
+    {!create} loads the file best-effort — a record with a bad checksum is
+    dropped and loading continues; a bad length prefix or a truncated tail
+    drops the rest of the file; neither ever raises.  When anything was
+    dropped the file is compacted from the surviving records before new
+    appends, so the log is always well-framed afterwards.
+
+    Not thread-safe by design: the ATPG consults the store from its
+    coordinating domain only (see [Atpg.classify]), never from workers. *)
+
+type verdict = Detected | Undetectable
+
+type stats = {
+  hits : int;
+  misses : int;
+  stores : int;        (** entries added (after dedup) *)
+  evictions : int;
+  disk_loaded : int;   (** records adopted from the disk tier at open *)
+  disk_dropped : int;  (** corrupted/truncated records discarded at open *)
+}
+
+type t
+
+val create : ?capacity:int -> ?path:string -> ?log:(string -> unit) -> unit -> t
+(** [capacity] bounds the in-memory tier (default 1_000_000 entries).
+    [path] enables the disk tier; the file is created when absent and
+    loaded best-effort when present.  An unreadable/unwritable path
+    degrades to memory-only operation.  Recovery and degradation are
+    reported through [log] (default: silent) and the {!stats} counters. *)
+
+val find : t -> int64 -> verdict option
+(** Counts a hit or a miss. *)
+
+val add : t -> int64 -> verdict -> unit
+(** Idempotent on an existing signature (no re-append, no counter bump). *)
+
+val mem_size : t -> int
+
+val stats : t -> stats
+
+val hit_rate : t -> float
+(** hits / (hits + misses), 0.0 when no lookups happened. *)
+
+val flush : t -> unit
+
+val close : t -> unit
+(** Flush and close the disk tier; the store stays usable memory-only. *)

@@ -12,6 +12,7 @@ let () =
       ("cellmodel", Test_cellmodel.suite);
       ("sim", Test_sim.suite);
       ("atpg", Test_atpg.suite);
+      ("incr", Test_incr.suite);
       ("synth", Test_synth.suite);
       ("layout", Test_layout.suite);
       ("timing", Test_timing.suite);

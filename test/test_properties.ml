@@ -280,10 +280,103 @@ let prop_tseitin_gates =
              Tseitin.mux s ~out ~sel a b)
            (fun a b -> if m land 4 = 4 then b else a))
 
+(* ------------------------------------------------------------------ *)
+(* Verdict cache vs uncached classification                            *)
+(* ------------------------------------------------------------------ *)
+
+module Atpg = Dfm_atpg.Atpg
+module Cache = Dfm_incr.Cache
+
+let same_classification (a : Atpg.classification) (b : Atpg.classification) =
+  (* everything must match except [sat_queries], which is exactly the work
+     the cache is allowed to skip *)
+  let ca = a.Atpg.counts and cb = b.Atpg.counts in
+  a.Atpg.status = b.Atpg.status
+  && ca.Atpg.total = cb.Atpg.total
+  && ca.Atpg.detected = cb.Atpg.detected
+  && ca.Atpg.undetectable = cb.Atpg.undetectable
+  && ca.Atpg.aborted = cb.Atpg.aborted
+  && ca.Atpg.undetectable_internal = cb.Atpg.undetectable_internal
+  && ca.Atpg.undetectable_external = cb.Atpg.undetectable_external
+
+(* A random netlist taken through a random sequence of gate replacements —
+   the resynthesis loop in miniature.  At every version, classification
+   without a cache, with a fresh (cold) cache, again with that now-warm
+   cache, and with one cache shared across the whole edit sequence must be
+   bit-identical; the cache may only reduce [sat_queries]. *)
+let prop_cache_never_changes_verdicts =
+  QCheck.Test.make ~name:"verdict cache never changes a classification" ~count:8
+    QCheck.(pair (int_range 1 10000) (int_range 3 9))
+    (fun (seed, ngates) ->
+      let versions =
+        let rec grow acc nl k =
+          if k = 0 then List.rev acc
+          else
+            let rng = Rng.create ((seed * 31) + k) in
+            let n = Array.length nl.N.gates in
+            let gates =
+              List.sort_uniq compare (List.init (1 + Rng.int rng 2) (fun _ -> Rng.int rng n))
+            in
+            match Dfm_synth.Convert.remap_region nl ~gates ~library:lib with
+            | nl' -> grow (nl' :: acc) nl' (k - 1)
+            | exception Dfm_synth.Mapper.Unmappable _ -> grow acc nl (k - 1)
+        in
+        let nl0 = random_netlist seed 4 ngates in
+        grow [ nl0 ] nl0 3
+      in
+      let shared = Cache.create () in
+      List.for_all
+        (fun nl ->
+          let rng = Rng.create (seed lxor 0xcafe) in
+          let faults = Array.of_list (faults_of_netlist nl rng) in
+          let plain = Atpg.classify nl faults in
+          let cache = Cache.create () in
+          let cold = Atpg.classify ~cache nl faults in
+          let warm = Atpg.classify ~cache nl faults in
+          let carried = Atpg.classify ~cache:shared nl faults in
+          same_classification plain cold
+          && same_classification plain warm
+          && same_classification plain carried
+          && warm.Atpg.counts.Atpg.sat_queries = 0
+          && cold.Atpg.counts.Atpg.sat_queries <= plain.Atpg.counts.Atpg.sat_queries
+          && carried.Atpg.counts.Atpg.sat_queries <= plain.Atpg.counts.Atpg.sat_queries)
+        versions)
+
+(* The incremental resweep must be observationally identical to a full
+   sweep: same support hash for every net, same signature for every fault,
+   on a random netlist after a random gate replacement. *)
+let prop_resweep_equals_full_sweep =
+  QCheck.Test.make ~name:"incremental resweep equals a full sweep" ~count:20
+    QCheck.(pair (int_range 1 10000) (int_range 3 10))
+    (fun (seed, ngates) ->
+      let nl = random_netlist seed 4 ngates in
+      let rng = Rng.create (seed lxor 0x1e5) in
+      let gates =
+        List.sort_uniq compare
+          (List.init (1 + Rng.int rng 2) (fun _ -> Rng.int rng (Array.length nl.N.gates)))
+      in
+      match Dfm_synth.Convert.remap_region nl ~gates ~library:lib with
+      | exception Dfm_synth.Mapper.Unmappable _ -> true
+      | nl2 ->
+          let module Sg = Dfm_incr.Signature in
+          let incr_sw, _ = Dfm_incr.Invalidate.resweep ~previous:(Sg.sweep nl) nl2 in
+          let full_sw = Sg.sweep nl2 in
+          let params = Sg.default_params () in
+          Array.for_all
+            (fun (nn : N.net) ->
+              Sg.support_hash incr_sw nn.N.net_id = Sg.support_hash full_sw nn.N.net_id)
+            nl2.N.nets
+          && List.for_all
+               (fun (f : F.t) ->
+                 Sg.of_fault incr_sw ~params f = Sg.of_fault full_sw ~params f)
+               (faults_of_netlist nl2 (Rng.create (seed lxor 0x7777))))
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_detect_word_vs_brute;
     QCheck_alcotest.to_alcotest prop_init_word;
     QCheck_alcotest.to_alcotest prop_tseitin_vs_truth_table;
     QCheck_alcotest.to_alcotest prop_tseitin_gates;
+    QCheck_alcotest.to_alcotest prop_cache_never_changes_verdicts;
+    QCheck_alcotest.to_alcotest prop_resweep_equals_full_sweep;
   ]
