@@ -28,7 +28,52 @@ let jobs_arg =
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
-let apply_jobs jobs = Option.iter Dfm_util.Parallel.set_default_jobs jobs
+let apply_jobs jobs =
+  Option.iter
+    (fun j ->
+      if j < 1 then begin
+        Fmt.epr "dfm_resynth: --jobs must be at least 1 (got %d)@." j;
+        exit 2
+      end;
+      Dfm_util.Parallel.set_default_jobs j)
+    jobs
+
+let failpoint_arg =
+  let doc =
+    "Arm a deterministic fault-injection site for resilience testing, e.g. \
+     $(b,store.append=io), $(b,parallel.task=raise:times=2) or \
+     $(b,checkpoint.append=partial:after=3).  Repeatable; specs in \\$REPRO_FAILPOINTS \
+     are applied as well."
+  in
+  Arg.(value & opt_all string [] & info [ "failpoint" ] ~docv:"SPEC" ~doc)
+
+let apply_failpoints specs =
+  (match Dfm_util.Failpoint.parse_env () with
+  | Ok () -> ()
+  | Error e ->
+      Fmt.epr "dfm_resynth: REPRO_FAILPOINTS: %s@." e;
+      exit 2);
+  List.iter
+    (fun s ->
+      match Dfm_util.Failpoint.parse s with
+      | Ok () -> ()
+      | Error e ->
+          Fmt.epr "dfm_resynth: --failpoint %s: %s@." s e;
+          exit 2)
+    specs
+
+let max_conflicts_arg =
+  let doc =
+    "Bound every classification SAT query to $(docv) solver conflicts.  Faults the budget \
+     aborts are retried on a geometric budget ladder (x4 per rung, capped total effort); \
+     any residue is reported, never silently dropped."
+  in
+  Arg.(value & opt (some int) None & info [ "max-conflicts" ] ~docv:"N" ~doc)
+
+(* A bounded budget on the CLI always comes with the escalation ladder: the
+   flag exists to make runs faster, not to quietly change verdicts. *)
+let escalation_of max_conflicts =
+  Option.map (fun _ -> Dfm_atpg.Atpg.default_escalation) max_conflicts
 
 let cache_dir_arg =
   let doc =
@@ -46,9 +91,60 @@ let expect_hits_arg =
   Arg.(value & flag & info [ "expect-cache-hits" ] ~doc)
 
 let make_cache dir =
+  let explicit = dir <> None in
   match (match dir with Some _ -> dir | None -> Sys.getenv_opt "REPRO_CACHE") with
   | None -> None
-  | Some d -> Some (Dfm_incr.Cache.create ~dir:d ~log:(fun s -> Fmt.pr "%s@." s) ())
+  | Some d ->
+      let c = Dfm_incr.Cache.create ~dir:d ~log:(fun s -> Fmt.pr "%s@." s) () in
+      (* An implicit (env-provided) cache dir degrades to memory-only like
+         any other disk failure; an explicitly requested one that cannot be
+         opened is a user error and fails loudly. *)
+      if explicit && (Dfm_incr.Cache.stats c).Dfm_incr.Store.degraded then begin
+        Fmt.epr "dfm_resynth: cache directory %s is not usable@." d;
+        exit 2
+      end;
+      Some c
+
+let checkpoint_dir_arg =
+  let doc =
+    "Directory for the campaign checkpoint journal.  Every accepted design point is \
+     journaled; a killed run re-invoked with $(b,--resume) continues from the last accept \
+     and finishes bit-identically to an uninterrupted run."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint-dir" ] ~docv:"DIR" ~doc)
+
+let resume_arg =
+  let doc = "Resume from the journal in $(b,--checkpoint-dir) instead of starting fresh." in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+let make_checkpoint dir resume =
+  match dir with
+  | None ->
+      if resume then begin
+        Fmt.epr "dfm_resynth: --resume requires --checkpoint-dir@.";
+        exit 2
+      end;
+      None
+  | Some d ->
+      (try if not (Sys.file_exists d) then Sys.mkdir d 0o755
+       with Sys_error e ->
+         Fmt.epr "dfm_resynth: cannot create checkpoint directory %s: %s@." d e;
+         exit 2);
+      if not (Sys.is_directory d) then begin
+        Fmt.epr "dfm_resynth: checkpoint path %s is not a directory@." d;
+        exit 2
+      end;
+      (* Probe writability now: an unwritable journal must fail before the
+         campaign spends hours, not at the first accept. *)
+      let probe = Filename.concat d ".probe" in
+      (try
+         let oc = open_out probe in
+         close_out oc;
+         Sys.remove probe
+       with Sys_error e ->
+         Fmt.epr "dfm_resynth: checkpoint directory %s is not writable: %s@." d e;
+         exit 2);
+      Some { Resynth.path = Filename.concat d "campaign.ckpt"; resume }
 
 let report_cache ~expect_hits cache =
   match cache with
@@ -76,15 +172,33 @@ let report_cache ~expect_hits cache =
       end
 
 let circuit_arg =
-  let doc = "Benchmark block name (see the list subcommand)." in
+  let doc =
+    "Benchmark block name (see the list subcommand), or the path of a netlist file in the \
+     text format of the dump subcommand (--scale is ignored for files)."
+  in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
 
+(* A path-looking argument ("./x", "a/b", "x.nl") is treated as a netlist
+   file; everything else must be a known generated block. *)
+let looks_like_path name = String.contains name '/' || Filename.check_suffix name ".nl"
+
 let build ?scale name =
-  if not (List.mem name Circuits.names) then begin
-    Fmt.epr "unknown circuit %s; known: %s@." name (String.concat " " Circuits.names);
+  if List.mem name Circuits.names then Circuits.build ?scale name
+  else if Sys.file_exists name && not (Sys.is_directory name) then begin
+    try Dfm_netlist.Netlist_io.read_file ~library:Dfm_cellmodel.Osu018.library name
+    with Failure e | Sys_error e ->
+      Fmt.epr "dfm_resynth: cannot read netlist %s: %s@." name e;
+      exit 2
+  end
+  else if looks_like_path name then begin
+    Fmt.epr "dfm_resynth: netlist file %s does not exist@." name;
     exit 2
-  end;
-  Circuits.build ?scale name
+  end
+  else begin
+    Fmt.epr "dfm_resynth: unknown circuit %s; known: %s@." name
+      (String.concat " " Circuits.names);
+    exit 2
+  end
 
 (* ---- list ---- *)
 
@@ -121,13 +235,22 @@ let cells_cmd =
 (* ---- analyze ---- *)
 
 let analyze_cmd =
-  let run name scale jobs cache_dir expect_hits =
+  let run name scale jobs cache_dir expect_hits max_conflicts failpoints =
     apply_jobs jobs;
+    apply_failpoints failpoints;
     let nl = build ?scale name in
     Fmt.pr "building and implementing %s (%d jobs) ...@." name
       (Dfm_util.Parallel.default_jobs ());
     let cache = make_cache cache_dir in
-    let d = Design.implement ?cache nl in
+    let d =
+      Design.implement ?cache ?max_conflicts ?escalation:(escalation_of max_conflicts) nl
+    in
+    (match d.Design.escalation with
+    | Some es ->
+        Fmt.pr "escalation: %d retries over %d rungs resolved %d abort(s), %d residual@."
+          es.Dfm_atpg.Atpg.retried es.Dfm_atpg.Atpg.rungs es.Dfm_atpg.Atpg.resolved
+          es.Dfm_atpg.Atpg.residual
+    | None -> ());
     let m = Design.metrics d in
     Fmt.pr "%a@." N.pp_summary nl;
     Fmt.pr "%a@." Design.pp_metrics m;
@@ -141,7 +264,9 @@ let analyze_cmd =
     report_cache ~expect_hits cache
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Implement a block and report its fault clustering.")
-    Term.(const run $ circuit_arg $ scale_arg $ jobs_arg $ cache_dir_arg $ expect_hits_arg)
+    Term.(
+      const run $ circuit_arg $ scale_arg $ jobs_arg $ cache_dir_arg $ expect_hits_arg
+      $ max_conflicts_arg $ failpoint_arg)
 
 (* ---- resynth ---- *)
 
@@ -157,15 +282,34 @@ let resynth_cmd =
            ~doc:"Write the resynthesized netlist (text format) to \\$(docv).")
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print accepted steps.") in
-  let run name scale jobs cache_dir expect_hits q_max p1 out verbose =
+  let run name scale jobs cache_dir expect_hits q_max p1 out verbose max_conflicts failpoints
+      checkpoint_dir resume =
     apply_jobs jobs;
+    apply_failpoints failpoints;
+    let checkpoint = make_checkpoint checkpoint_dir resume in
     let nl = build ?scale name in
     Fmt.pr "implementing %s (%d jobs) ...@." name (Dfm_util.Parallel.default_jobs ());
     let cache = make_cache cache_dir in
-    let d0 = Design.implement ?cache nl in
+    let escalation = escalation_of max_conflicts in
+    let d0 = Design.implement ?cache ?max_conflicts ?escalation nl in
     Fmt.pr "original:      %a@." Design.pp_metrics (Design.metrics d0);
     let log = if verbose then fun s -> Fmt.pr "  %s@." s else fun _ -> () in
-    let r = Resynth.run ~p1_percent:p1 ~q_max ?cache ~log d0 in
+    let r =
+      try Resynth.run ~p1_percent:p1 ~q_max ?cache ?max_conflicts ?escalation ?checkpoint ~log d0
+      with
+      | Dfm_core.Checkpoint.Error msg ->
+          Fmt.epr "dfm_resynth: %s@." msg;
+          exit 2
+      | Sys_error msg when Option.is_some checkpoint ->
+          (* The journal writer is loud by design: a failed append kills the
+             campaign rather than silently losing the resume point. *)
+          Fmt.epr "dfm_resynth: campaign aborted: %s (re-run with --resume)@." msg;
+          exit 2
+      | Dfm_util.Failpoint.Injected site when Option.is_some checkpoint ->
+          Fmt.epr "dfm_resynth: campaign aborted: injected failure at %s (re-run with --resume)@."
+            site;
+          exit 2
+    in
     Fmt.pr "resynthesized: %a@." Design.pp_metrics (Design.metrics r.Resynth.final);
     Fmt.pr "effort: %a@." Report.pp_effort (Report.effort r);
     report_cache ~expect_hits cache;
@@ -189,7 +333,8 @@ let resynth_cmd =
        ~doc:"Run the two-phase resynthesis procedure of the paper on a block.")
     Term.(
       const run $ circuit_arg $ scale_arg $ jobs_arg $ cache_dir_arg $ expect_hits_arg $ q_max
-      $ p1 $ out $ verbose)
+      $ p1 $ out $ verbose $ max_conflicts_arg $ failpoint_arg $ checkpoint_dir_arg
+      $ resume_arg)
 
 (* ---- ablate ---- *)
 

@@ -177,7 +177,12 @@ let classify ?(seed = 1) ?max_conflicts ?(random_blocks = 16) ?jobs ?cache nl fa
       sim_range s s.fs ~good ~lo:0 ~hi:nf;
       left := unresolved_count s
     done;
-    s.sat_queries <- sat_range ?max_conflicts s ~lo:0 ~hi:nf
+    (* The query count is the number of faults entering the SAT phase
+       unresolved — counted up front so a supervised retry of a shard
+       (which re-queries only the still-unresolved suffix) cannot skew the
+       effort accounting away from the sequential reference. *)
+    s.sat_queries <- unresolved_count s;
+    ignore (sat_range ?max_conflicts s ~lo:0 ~hi:nf : int)
   end
   else begin
     (* The UDFM lazy caches must not be forced for the first time inside a
@@ -186,7 +191,10 @@ let classify ?(seed = 1) ?max_conflicts ?(random_blocks = 16) ?jobs ?cache nl fa
     let pool = Parallel.get ~jobs () in
     let bounds = shard_bounds ~jobs nf in
     (* Every worker owns a full fault-simulation scratch; only the st/tf
-       arrays are shared, at disjoint indices. *)
+       arrays are shared, at disjoint indices.  Shard tasks are pure
+       per-index recomputations into disjoint slots, hence restartable —
+       which is what lets the supervised batch retry a shard whose worker
+       raised (a poisoned task degrades throughput, never the verdicts). *)
     let shard_fs = Array.map (fun _ -> Fs.prepare nl) bounds in
     let blocks = ref 0 in
     let left = ref (unresolved_count s) in
@@ -195,18 +203,21 @@ let classify ?(seed = 1) ?max_conflicts ?(random_blocks = 16) ?jobs ?cache nl fa
       (* Pattern words and the fault-free simulation are produced once by
          the coordinator, in the same order as the sequential path. *)
       let good = Ls.run s.ls (Ls.random_words s.ls rng) in
-      Parallel.run_tasks pool
-        (Array.mapi
-           (fun k (lo, hi) () -> sim_range s shard_fs.(k) ~good ~lo ~hi)
-           bounds);
+      ignore
+        (Parallel.run_tasks_supervised pool
+           (Array.mapi
+              (fun k (lo, hi) () -> sim_range s shard_fs.(k) ~good ~lo ~hi)
+              bounds)
+          : Parallel.supervision);
       left := unresolved_count s
     done;
-    let queries = Array.make (Array.length bounds) 0 in
-    Parallel.run_tasks pool
-      (Array.mapi
-         (fun k (lo, hi) () -> queries.(k) <- sat_range ?max_conflicts s ~lo ~hi)
-         bounds);
-    s.sat_queries <- Array.fold_left ( + ) 0 queries
+    s.sat_queries <- unresolved_count s;
+    ignore
+      (Parallel.run_tasks_supervised pool
+         (Array.mapi
+            (fun _k (lo, hi) () -> ignore (sat_range ?max_conflicts s ~lo ~hi : int))
+            bounds)
+        : Parallel.supervision)
   end;
   (* Publish the freshly derived verdicts (never the cached ones again, and
      never Aborted: an abort is a budget artifact, not a semantic fact). *)
@@ -222,6 +233,110 @@ let classify ?(seed = 1) ?max_conflicts ?(random_blocks = 16) ?jobs ?cache nl fa
             | _ -> ())
         sigs);
   finish_counts s
+
+(* ------------------------------------------------------------------ *)
+(* Abort-budget escalation                                              *)
+(* ------------------------------------------------------------------ *)
+
+type escalation_policy = { factor : int; max_total_conflicts : int }
+
+let default_escalation = { factor = 4; max_total_conflicts = 1_000_000 }
+
+type escalation_stats = {
+  rungs : int;
+  retried : int;
+  resolved : int;
+  residual : int;
+  effort : int;
+  aborted_per_rung : int list;
+}
+
+let no_escalation =
+  { rungs = 0; retried = 0; resolved = 0; residual = 0; effort = 0; aborted_per_rung = [] }
+
+(* Retry the Aborted faults of [cls] on a geometric conflict-budget ladder
+   b_k = max_conflicts * factor^k, charging each query's granted budget
+   against [max_total_conflicts].  The solver's conclusions are
+   budget-monotone — a verdict reached within c conflicts is reached within
+   any budget >= c — so the ladder's outcome per fault equals a single run
+   at the last budget that fault was tried with; cheap rungs just resolve
+   the easy aborts before the expensive budgets are spent.  Runs entirely
+   in the coordinating domain: abort sets are small and the cache (if any)
+   must only ever be touched from here. *)
+let escalate ?(policy = default_escalation) ?cache ~max_conflicts nl faults
+    (cls : classification) =
+  if cls.counts.aborted = 0 then (cls, no_escalation)
+  else begin
+    let factor = max 2 policy.factor in
+    let nf = Array.length faults in
+    let pending = ref [] in
+    for fid = nf - 1 downto 0 do
+      if cls.status.(fid) = Aborted then pending := fid :: !pending
+    done;
+    let s = make_state nl faults in
+    Array.iteri
+      (fun fid v ->
+        s.st.(fid) <- (match v with Detected -> 1 | Undetectable -> 2 | Aborted -> 3))
+      cls.status;
+    s.sat_queries <- cls.counts.sat_queries;
+    (* Escalated verdicts are published under the *original* budget's
+       signatures: the verdict is semantic (budget-independent), and that is
+       the key the next same-budget campaign will look up. *)
+    let sigs =
+      match cache with
+      | None -> [||]
+      | Some c -> Dfm_incr.Cache.signatures c ~max_conflicts nl faults
+    in
+    let publish fid v =
+      match cache with None -> () | Some c -> Dfm_incr.Cache.record c sigs.(fid) v
+    in
+    let budget = ref max_conflicts in
+    let effort = ref 0 and retried = ref 0 and rungs = ref 0 and resolved = ref 0 in
+    let per_rung = ref [] in
+    let exhausted = ref false in
+    while (not !exhausted) && !pending <> [] do
+      let b = if !budget > max_int / factor then max_int else !budget * factor in
+      budget := b;
+      if !effort + b > policy.max_total_conflicts then exhausted := true
+      else begin
+        incr rungs;
+        let still = ref [] in
+        List.iter
+          (fun fid ->
+            if !effort + b > policy.max_total_conflicts then begin
+              exhausted := true;
+              still := fid :: !still
+            end
+            else begin
+              incr retried;
+              effort := !effort + b;
+              s.sat_queries <- s.sat_queries + 1;
+              match Encode.check ~max_conflicts:b s.ls faults.(fid) with
+              | Encode.Tests _ ->
+                  s.st.(fid) <- 1;
+                  incr resolved;
+                  publish fid Dfm_incr.Store.Detected
+              | Encode.Undetectable ->
+                  s.st.(fid) <- 2;
+                  incr resolved;
+                  publish fid Dfm_incr.Store.Undetectable
+              | Encode.Unknown -> still := fid :: !still
+            end)
+          !pending;
+        pending := List.rev !still;
+        per_rung := List.length !pending :: !per_rung
+      end
+    done;
+    ( finish_counts s,
+      {
+        rungs = !rungs;
+        retried = !retried;
+        resolved = !resolved;
+        residual = List.length !pending;
+        effort = !effort;
+        aborted_per_rung = List.rev !per_rung;
+      } )
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Test generation with fault dropping and greedy per-word compaction  *)

@@ -77,6 +77,45 @@ val classify :
     traffic happens in the coordinating domain, so the [jobs] bit-identity
     above is preserved verbatim. *)
 
+type escalation_policy = {
+  factor : int;  (** budget multiplier per rung, clamped to >= 2 *)
+  max_total_conflicts : int;
+      (** total-effort cap: the sum of granted budgets across all escalation
+          queries never exceeds this *)
+}
+
+val default_escalation : escalation_policy
+(** [{ factor = 4; max_total_conflicts = 1_000_000 }] *)
+
+type escalation_stats = {
+  rungs : int;       (** ladder rungs that ran at least one query *)
+  retried : int;     (** escalation SAT queries issued *)
+  resolved : int;    (** aborts turned into semantic verdicts *)
+  residual : int;    (** aborts surviving the whole ladder — reported, never dropped *)
+  effort : int;      (** sum of granted conflict budgets *)
+  aborted_per_rung : int list;
+      (** aborts remaining {e after} each rung — monotonically non-increasing *)
+}
+
+val escalate :
+  ?policy:escalation_policy ->
+  ?cache:Dfm_incr.Cache.t ->
+  max_conflicts:int ->
+  Dfm_netlist.Netlist.t ->
+  Dfm_faults.Fault.t array ->
+  classification ->
+  classification * escalation_stats
+(** Retry the [Aborted] faults of a bounded-budget classification on a
+    geometric conflict-budget ladder [max_conflicts * factor^k], stopping
+    when every abort is resolved or the total-effort cap is reached.
+    Because solver conclusions are budget-monotone, the result is
+    bit-identical (statuses and counts other than [sat_queries]) to a
+    single {!classify} run at the ladder's final budget — the ladder only
+    spends the large budgets on the faults that still need them.  Resolved
+    verdicts are published to [cache] under the original [max_conflicts]
+    signatures; residual aborts stay [Aborted] in the returned
+    classification.  Runs in the calling domain. *)
+
 val generate :
   ?seed:int ->
   ?max_conflicts:int ->

@@ -1,0 +1,81 @@
+(** Append-only campaign journal: kill/resume for {!Resynth.run}.
+
+    The journal records the progress of one resynthesis campaign — every
+    rejected candidate as an {!event} and every accepted design point as an
+    {!accept} carrying the accepted netlist (structural text), the campaign
+    counters and the loop position.  The resumption contract built on it:
+
+    {e kill the process at any instant, attach again with [resume = true],
+    and the completed campaign's final design, trace and counters are
+    bit-identical to the uninterrupted run.}
+
+    This works because {!Resynth.run} is deterministic and its phase loops
+    are fixpoint iterations: replaying the accepted netlists through the
+    incremental [Design.implement] chain reconstructs the exact design
+    state, and re-entering the loop at the journaled position re-derives
+    precisely the work that followed the last accept (whose journal tail is
+    truncated at attach time so nothing is duplicated).
+
+    On-disk format, in the style of {!Dfm_incr.Store}: an 8-byte magic, then
+    framed records [u32le length | payload | u64le checksum].  Loading is
+    best-effort — a record with a bad checksum, a bad length or a truncated
+    tail (e.g. a crash mid-append) drops the rest of the file, and the
+    journal is compacted before new appends so it is always well-framed.
+
+    Appends pass the [checkpoint.append] {!Dfm_util.Failpoint} site, which
+    is how the crash-matrix test kills a campaign at every record
+    boundary (including torn writes). *)
+
+type event = {
+  q : int;
+  phase : int;
+  cell : string option;
+  action : string;
+  u : int;
+  u_internal : int;
+  smax : int;
+  delay : float;
+  power : float;
+  cache_hits : int;
+}
+(** Mirror of [Resynth.event]; duplicated here so the journal does not
+    depend on the procedure it serves. *)
+
+type accept = {
+  ev : event;                (** the accept event itself *)
+  netlist : string;          (** accepted netlist, [Netlist_io] text *)
+  accepted : int;            (** counters {e after} this accept *)
+  implements : int;
+  sat_queries : int;
+  run_cache_hits : int;      (** cache hits attributed to the run so far *)
+  p2 : float;                (** phase-2 [S_max] bound in force (0 in phase 1) *)
+}
+
+type entry = Header of string | Event of event | Accept of accept
+
+exception Error of string
+(** Raised when attaching to a journal written by a different run
+    configuration (header mismatch), or on use after {!close}. *)
+
+type t
+
+val attach : ?resume:bool -> header:string -> string -> t * entry list
+(** [attach ~header path] opens (creating if needed) the journal at [path]
+    for appending and returns the surviving entries to replay — [[]] for a
+    fresh campaign.  With [resume = false] (or when no journal exists) any
+    existing journal is truncated and the campaign starts fresh.  With
+    [resume = true] the file is loaded best-effort, the tail after the last
+    {!Accept} is dropped (that work is re-derived deterministically), and
+    the compacted journal is rewritten if anything was dropped.  The
+    returned list never contains [Header].
+    @raise Error when the journal's header differs from [header].
+    @raise Sys_error when [path] cannot be created or written. *)
+
+val append_event : t -> event -> unit
+(** Journal one non-accepted design point.  Flushes.  Raises on I/O failure
+    — a checkpoint that cannot persist must be loud, not silent. *)
+
+val append_accept : t -> accept -> unit
+(** Journal one accepted design point.  Flushes; same failure contract. *)
+
+val close : t -> unit

@@ -12,6 +12,7 @@ type t = {
   fault_list : Dfm_guidelines.Translate.t;
   classification : Atpg.classification;
   cluster : Cluster.t;
+  escalation : Atpg.escalation_stats option;
 }
 
 type metrics = {
@@ -34,7 +35,8 @@ type metrics = {
 
 let undetectable t fid = t.classification.Atpg.status.(fid) = Atpg.Undetectable
 
-let implement ?(seed = 3) ?floorplan ?utilization ?previous ?jobs ?cache netlist =
+let implement ?(seed = 3) ?floorplan ?utilization ?previous ?jobs ?cache ?max_conflicts
+    ?escalation netlist =
   let floorplan =
     match floorplan with
     | Some fp -> fp
@@ -47,13 +49,37 @@ let implement ?(seed = 3) ?floorplan ?utilization ?previous ?jobs ?cache netlist
   let power = Dfm_timing.Power.analyze ~seed routing in
   let fault_list = Dfm_guidelines.Translate.build routing in
   let classification =
-    Atpg.classify ~seed ?jobs ?cache netlist fault_list.Dfm_guidelines.Translate.faults
+    Atpg.classify ~seed ?jobs ?cache ?max_conflicts netlist
+      fault_list.Dfm_guidelines.Translate.faults
+  in
+  (* With a bounded budget, aborts are escalated before clustering so the
+     cluster view is built from the most-resolved classification we have. *)
+  let classification, escalation =
+    match (max_conflicts, escalation) with
+    | Some mc, Some policy when classification.Atpg.counts.Atpg.aborted > 0 ->
+        let cls, stats =
+          Atpg.escalate ~policy ?cache ~max_conflicts:mc netlist
+            fault_list.Dfm_guidelines.Translate.faults classification
+        in
+        (cls, Some stats)
+    | _ -> (classification, None)
   in
   let cluster =
     Cluster.compute netlist fault_list.Dfm_guidelines.Translate.faults
       ~undetectable:(fun fid -> classification.Atpg.status.(fid) = Atpg.Undetectable)
   in
-  { netlist; floorplan; placement; routing; timing; power; fault_list; classification; cluster }
+  {
+    netlist;
+    floorplan;
+    placement;
+    routing;
+    timing;
+    power;
+    fault_list;
+    classification;
+    cluster;
+    escalation;
+  }
 
 let metrics t =
   let c = t.classification.Atpg.counts in

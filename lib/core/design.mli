@@ -15,6 +15,9 @@ type t = {
   fault_list : Dfm_guidelines.Translate.t;
   classification : Dfm_atpg.Atpg.classification;
   cluster : Cluster.t;
+  escalation : Dfm_atpg.Atpg.escalation_stats option;
+      (** abort-budget escalation spent on this classification, when a
+          bounded [max_conflicts] plus an escalation policy were in force *)
 }
 
 type metrics = {
@@ -42,9 +45,15 @@ val implement :
   ?previous:t ->
   ?jobs:int ->
   ?cache:Dfm_incr.Cache.t ->
+  ?max_conflicts:int ->
+  ?escalation:Dfm_atpg.Atpg.escalation_policy ->
   Dfm_netlist.Netlist.t ->
   t
-(** Run the whole pipeline.  When [floorplan] is given the design must fit
+(** Run the whole pipeline.  [max_conflicts] bounds each classification SAT
+    query; when [escalation] is also given, faults that budget aborts are
+    retried on the geometric ladder of {!Dfm_atpg.Atpg.escalate} before the
+    cluster view is computed, and the spent effort is reported in the
+    [escalation] field.  When [floorplan] is given the design must fit
     it (raises {!Dfm_layout.Place.Does_not_fit} otherwise) — that is how the
     fixed-die constraint of the paper is enforced.  [previous] enables
     incremental (ECO) placement relative to an earlier design point.

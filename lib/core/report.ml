@@ -136,6 +136,11 @@ type effort = {
   ef_sat_queries : int;
   ef_cache_hits : int;
   ef_hit_rate : float;
+  ef_resumed_steps : int;
+  ef_pool_retries : int;
+  ef_pool_fallbacks : int;
+  ef_escalation_retries : int;
+  ef_aborted_residual : int;
 }
 
 let effort (r : Resynth.result) =
@@ -149,11 +154,25 @@ let effort (r : Resynth.result) =
          share served from the cache — a lower bound, since hits also skip
          random-simulation work. *)
       (if lookups = 0 then 0.0 else float_of_int r.Resynth.cache_hits /. float_of_int lookups);
+    ef_resumed_steps = r.Resynth.resumed_steps;
+    ef_pool_retries = r.Resynth.pool_retries;
+    ef_pool_fallbacks = r.Resynth.pool_fallbacks;
+    ef_escalation_retries = r.Resynth.escalation_retries;
+    ef_aborted_residual = r.Resynth.aborted_residual;
   }
 
 let pp_effort ppf e =
   Format.fprintf ppf "implement calls %d, SAT queries %d, cache hits %d (%.1f%% of hard verdicts)"
-    e.ef_implement_calls e.ef_sat_queries e.ef_cache_hits (100.0 *. e.ef_hit_rate)
+    e.ef_implement_calls e.ef_sat_queries e.ef_cache_hits (100.0 *. e.ef_hit_rate);
+  (* Resilience counters appear only when the run actually exercised them:
+     the common healthy run keeps its one-line shape. *)
+  if e.ef_resumed_steps > 0 then Format.fprintf ppf ", resumed steps %d" e.ef_resumed_steps;
+  if e.ef_pool_retries > 0 || e.ef_pool_fallbacks > 0 then
+    Format.fprintf ppf ", pool retries %d (fallbacks %d)" e.ef_pool_retries e.ef_pool_fallbacks;
+  if e.ef_escalation_retries > 0 then
+    Format.fprintf ppf ", escalation retries %d" e.ef_escalation_retries;
+  if e.ef_aborted_residual > 0 then
+    Format.fprintf ppf ", residual aborts %d" e.ef_aborted_residual
 
 type fig2_point = {
   step : int;

@@ -29,7 +29,15 @@ type result = {
   cache_hits : int;
   elapsed_s : float;
   baseline_s : float;
+  resumed_steps : int;
+  pool_retries : int;
+  pool_fallbacks : int;
+  escalation_retries : int;
+  escalation_resolved : int;
+  aborted_residual : int;
 }
+
+type checkpoint_spec = { path : string; resume : bool }
 
 let cells_by_internal_faults lib =
   Library.combinational lib
@@ -45,7 +53,16 @@ type state = {
   mutable implements : int;
   mutable sat_queries : int;
   mutable hits_seen : int;  (* cache hits already attributed to an event *)
+  mutable hits0 : int;          (* cache counter at run (post-replay) start *)
+  mutable hits_restored : int;  (* run-attributed hits restored from the journal *)
+  mutable resumed_steps : int;  (* accepted steps replayed from the journal *)
+  mutable esc_retried : int;
+  mutable esc_resolved : int;
+  mutable esc_residual : int;
   cache : Dfm_incr.Cache.t option;
+  max_conflicts : int option;
+  escalation : Atpg.escalation_policy option;
+  ckpt : Checkpoint.t option;
   floorplan : Dfm_layout.Floorplan.t;
   orig_delay : float;
   orig_power : float;
@@ -68,13 +85,45 @@ let pct_smax_f (d : Design.t) =
   let f = d.Design.classification.Atpg.counts.Atpg.total in
   if f = 0 then 0.0 else 100.0 *. float_of_int (smax d) /. float_of_int f
 
+let ckpt_of_event (e : event) : Checkpoint.event =
+  {
+    Checkpoint.q = e.ev_q;
+    phase = e.ev_phase;
+    cell = e.ev_cell;
+    action = e.ev_action;
+    u = e.ev_u;
+    u_internal = e.ev_u_internal;
+    smax = e.ev_smax;
+    delay = e.ev_delay;
+    power = e.ev_power;
+    cache_hits = e.ev_cache_hits;
+  }
+
+let event_of_ckpt (e : Checkpoint.event) : event =
+  {
+    ev_q = e.Checkpoint.q;
+    ev_phase = e.Checkpoint.phase;
+    ev_cell = e.Checkpoint.cell;
+    ev_action = e.Checkpoint.action;
+    ev_u = e.Checkpoint.u;
+    ev_u_internal = e.Checkpoint.u_internal;
+    ev_smax = e.Checkpoint.smax;
+    ev_delay = e.Checkpoint.delay;
+    ev_power = e.Checkpoint.power;
+    ev_cache_hits = e.Checkpoint.cache_hits;
+  }
+
+(* Run-attributed cache hits so far, including what a resumed journal
+   already accounted for. *)
+let run_hits st = st.hits_restored + (cache_hits_so_far st - st.hits0)
+
 let record st ~q ~phase ~cell ~action (d : Design.t) =
   (* Hits since the previous event: the cache traffic of every implement /
      internal-check call evaluated on the way to this design point. *)
   let hits_now = cache_hits_so_far st in
   let ev_cache_hits = hits_now - st.hits_seen in
   st.hits_seen <- hits_now;
-  st.trace <-
+  let ev =
     {
       ev_q = q;
       ev_phase = phase;
@@ -87,15 +136,38 @@ let record st ~q ~phase ~cell ~action (d : Design.t) =
       ev_power = d.Design.power.Dfm_timing.Power.total;
       ev_cache_hits;
     }
-    :: st.trace
+  in
+  st.trace <- ev :: st.trace;
+  (* Rejected candidates are journaled here; accepted ones are journaled by
+     [run_phase] as Accept records (which embed this same event) once the
+     campaign counters have been bumped. *)
+  match st.ckpt with
+  | Some ck when action = "reject" -> Checkpoint.append_event ck (ckpt_of_event ev)
+  | Some _ | None -> ()
 
 (* Undetectable internal fault count of a bare netlist (no layout): internal
    faults do not depend on placement/routing, so this gates PDesign() as in
    Section III-B. *)
+let note_escalation st (es : Atpg.escalation_stats) =
+  st.esc_retried <- st.esc_retried + es.Atpg.retried;
+  st.esc_resolved <- st.esc_resolved + es.Atpg.resolved;
+  st.esc_residual <- st.esc_residual + es.Atpg.residual;
+  st.sat_queries <- st.sat_queries + es.Atpg.retried
+
 let internal_u_of_netlist st nl =
   let faults = Dfm_guidelines.Translate.internal_only nl in
-  let cls = Atpg.classify ~seed:st.seed ?cache:st.cache nl faults in
+  let cls =
+    Atpg.classify ~seed:st.seed ?max_conflicts:st.max_conflicts ?cache:st.cache nl faults
+  in
   st.sat_queries <- st.sat_queries + cls.Atpg.counts.Atpg.sat_queries;
+  let cls =
+    match (st.max_conflicts, st.escalation) with
+    | Some mc, Some policy when cls.Atpg.counts.Atpg.aborted > 0 ->
+        let cls', es = Atpg.escalate ~policy ?cache:st.cache ~max_conflicts:mc nl faults cls in
+        note_escalation st es;
+        cls'
+    | _ -> cls
+  in
   cls.Atpg.counts.Atpg.undetectable
 
 let implement_opt st nl =
@@ -103,9 +175,15 @@ let implement_opt st nl =
   try
     let d =
       Design.implement ~seed:st.seed ~floorplan:st.floorplan ~previous:st.current
-        ?cache:st.cache nl
+        ?cache:st.cache ?max_conflicts:st.max_conflicts ?escalation:st.escalation nl
     in
     st.sat_queries <- st.sat_queries + d.Design.classification.Atpg.counts.Atpg.sat_queries;
+    Option.iter
+      (fun (es : Atpg.escalation_stats) ->
+        st.esc_retried <- st.esc_retried + es.Atpg.retried;
+        st.esc_resolved <- st.esc_resolved + es.Atpg.resolved;
+        st.esc_residual <- st.esc_residual + es.Atpg.residual)
+      d.Design.escalation;
     Some d
   with Dfm_layout.Place.Does_not_fit _ -> None
 
@@ -156,9 +234,21 @@ let grow_region nl region ~levels =
   done;
   IntSet.elements !set
 
+(* Candidate netlists are canonicalized through the Netlist_io text
+   roundtrip before use.  The fresh names and net ids the mapper stitches
+   into a remapped netlist depend on the in-memory id layout of the parent
+   it was grown from; the roundtrip renumbers everything into text order —
+   a fixpoint of read∘to_string — so a campaign resumed from journaled
+   netlist text walks through identical netlist representations and
+   re-derives a bit-identical continuation (see {!Checkpoint}). *)
+let canonical nl =
+  Dfm_netlist.Netlist_io.read ~library:nl.N.library (Dfm_netlist.Netlist_io.to_string nl)
+
 let remap_opt st nl ~region ~library =
   try
-    Some (Dfm_synth.Convert.remap_region ~goal:`Area ~sweep:st.sweep nl ~gates:region ~library)
+    Some
+      (canonical
+         (Dfm_synth.Convert.remap_region ~goal:`Area ~sweep:st.sweep nl ~gates:region ~library))
   with Dfm_synth.Mapper.Unmappable _ -> None
 
 (* One evaluated candidate: remap, cheap internal check, full implement.
@@ -347,6 +437,24 @@ let run_phase st ~q ~phase ~p1 ~p2 =
         | Some d' ->
             st.current <- d';
             st.accepted <- st.accepted + 1;
+            (* Checkpoint the accepted design point: the accept event (just
+               recorded at the head of the trace), the netlist text to
+               replay the ECO chain from, the counters as of now, and the
+               loop position — everything a resumed run needs to continue
+               as the exact original continuation. *)
+            (match st.ckpt with
+            | None -> ()
+            | Some ck ->
+                Checkpoint.append_accept ck
+                  {
+                    Checkpoint.ev = ckpt_of_event (List.hd st.trace);
+                    netlist = Dfm_netlist.Netlist_io.to_string d'.Design.netlist;
+                    accepted = st.accepted;
+                    implements = st.implements;
+                    sat_queries = st.sat_queries;
+                    run_cache_hits = run_hits st;
+                    p2;
+                  });
             st.log
               (Printf.sprintf "q=%d phase %d: accepted, U=%d (internal %d), Smax=%d" q phase
                  (u_total d') (u_internal d') (smax d'));
@@ -356,9 +464,34 @@ let run_phase st ~q ~phase ~p1 ~p2 =
     end
   done
 
+(* The header ties a journal to everything that determines the campaign's
+   outcome; resuming under a different configuration would not be the same
+   run, so it is refused.  The cache is deliberately excluded — it can only
+   skip work, never change a result. *)
+let checkpoint_header ~p1_percent ~q_max ~seed ~sweep ~context_levels ~max_conflicts initial =
+  Printf.sprintf "dfm-resynth v1 nl=%Lx p1=%h q_max=%d seed=%d sweep=%b ctx=%d mc=%s"
+    (Dfm_incr.Hash64.of_string
+       (Dfm_netlist.Netlist_io.to_string initial.Design.netlist))
+    p1_percent q_max seed sweep context_levels
+    (match max_conflicts with None -> "-" | Some c -> string_of_int c)
+
 let run ?(p1_percent = 1.0) ?(q_max = 5) ?(seed = 3) ?(sweep = true) ?(context_levels = 2)
-    ?cache ?(log = fun _ -> ()) initial =
+    ?cache ?max_conflicts ?escalation ?checkpoint ?(log = fun _ -> ()) initial =
   let t0 = Unix.gettimeofday () in
+  let pool_retried0, pool_fellback0 = Dfm_util.Parallel.supervision_totals () in
+  (* Attach the journal (if any) first: a header mismatch or an unwritable
+     path must fail before any expensive work starts. *)
+  let ckpt, replay =
+    match checkpoint with
+    | None -> (None, [])
+    | Some { path; resume } ->
+        let header =
+          checkpoint_header ~p1_percent ~q_max ~seed ~sweep ~context_levels ~max_conflicts
+            initial
+        in
+        let t, entries = Checkpoint.attach ~resume ~header path in
+        (Some t, entries)
+  in
   (* Baseline: one synthesis + physical design + *test generation* iteration
      (the unit of the paper's Rtime column — their baseline includes
      generating the DFM test set, so ours runs Atpg.generate too).  The
@@ -378,7 +511,16 @@ let run ?(p1_percent = 1.0) ?(q_max = 5) ?(seed = 3) ?(sweep = true) ?(context_l
       implements = 0;
       sat_queries = 0;
       hits_seen = 0;
+      hits0 = 0;
+      hits_restored = 0;
+      resumed_steps = 0;
+      esc_retried = 0;
+      esc_resolved = 0;
+      esc_residual = 0;
       cache;
+      max_conflicts;
+      escalation;
+      ckpt;
       floorplan = initial.Design.floorplan;
       orig_delay = initial.Design.timing.Dfm_timing.Sta.critical_path_delay;
       orig_power = initial.Design.power.Dfm_timing.Power.total;
@@ -388,15 +530,62 @@ let run ?(p1_percent = 1.0) ?(q_max = 5) ?(seed = 3) ?(sweep = true) ?(context_l
       log;
     }
   in
-  (* A warm cache may arrive with prior traffic; attribute only this run's
-     hits to its events and totals. *)
+  (* Replay the journal.  Rejected events are restored verbatim; each
+     accepted design point is rebuilt by re-implementing its journaled
+     netlist against the previous accepted design — the same incremental
+     (ECO) chain the original run walked, hence a bit-identical design
+     state.  Counters are restored from the last Accept; the replay's own
+     implement/SAT work is bookkeeping-free (it happened already, in the
+     run being resumed). *)
+  let resume_q = ref 0 and resume_phase = ref 1 and resume_p2 = ref 0.0 in
+  List.iter
+    (function
+      | Checkpoint.Header _ -> ()
+      | Checkpoint.Event e -> st.trace <- event_of_ckpt e :: st.trace
+      | Checkpoint.Accept a ->
+          let nl =
+            Dfm_netlist.Netlist_io.read
+              ~library:st.current.Design.netlist.N.library a.Checkpoint.netlist
+          in
+          let d =
+            Design.implement ~seed ~floorplan:st.floorplan ~previous:st.current ?cache
+              ?max_conflicts ?escalation nl
+          in
+          st.current <- d;
+          st.trace <- event_of_ckpt a.Checkpoint.ev :: st.trace;
+          st.accepted <- a.Checkpoint.accepted;
+          st.implements <- a.Checkpoint.implements;
+          st.sat_queries <- a.Checkpoint.sat_queries;
+          st.hits_restored <- a.Checkpoint.run_cache_hits;
+          st.resumed_steps <- st.resumed_steps + 1;
+          resume_q := a.Checkpoint.ev.Checkpoint.q;
+          resume_phase := a.Checkpoint.ev.Checkpoint.phase;
+          resume_p2 := a.Checkpoint.p2)
+    replay;
+  if st.resumed_steps > 0 then
+    log
+      (Printf.sprintf "resume: replayed %d accepted step(s), continuing at q=%d phase %d"
+         st.resumed_steps !resume_q !resume_phase);
+  (* A warm cache may arrive with prior traffic (including the replay's);
+     attribute only this run's continuation hits to its events and totals. *)
   let hits0 = cache_hits_so_far st in
+  st.hits0 <- hits0;
   st.hits_seen <- hits0;
-  for q = 0 to q_max do
-    run_phase st ~q ~phase:1 ~p1:p1_percent ~p2:0.0;
-    let p2 = Float.max p1_percent (pct_smax_f st.current) in
+  for q = !resume_q to q_max do
+    (* Never re-enter phase 1 of a q whose phase 2 already accepted: phase 1
+       ran to its fixpoint before phase 2 started, and the phase-2 accepts
+       may have moved S_max back above its threshold.  The journaled p2 is
+       the bound the original run computed at that boundary. *)
+    let in_resumed_phase2 = q = !resume_q && !resume_phase = 2 in
+    if not in_resumed_phase2 then run_phase st ~q ~phase:1 ~p1:p1_percent ~p2:0.0;
+    let p2 =
+      if in_resumed_phase2 then !resume_p2
+      else Float.max p1_percent (pct_smax_f st.current)
+    in
     run_phase st ~q ~phase:2 ~p1:p1_percent ~p2
   done;
+  Option.iter Checkpoint.close ckpt;
+  let pool_retried1, pool_fellback1 = Dfm_util.Parallel.supervision_totals () in
   {
     initial;
     final = st.current;
@@ -404,7 +593,13 @@ let run ?(p1_percent = 1.0) ?(q_max = 5) ?(seed = 3) ?(sweep = true) ?(context_l
     accepted = st.accepted;
     implement_calls = st.implements;
     sat_queries = st.sat_queries;
-    cache_hits = cache_hits_so_far st - hits0;
+    cache_hits = st.hits_restored + (cache_hits_so_far st - hits0);
     elapsed_s = Unix.gettimeofday () -. t0;
     baseline_s;
+    resumed_steps = st.resumed_steps;
+    pool_retries = pool_retried1 - pool_retried0;
+    pool_fallbacks = pool_fellback1 - pool_fellback0;
+    escalation_retries = st.esc_retried;
+    escalation_resolved = st.esc_resolved;
+    aborted_residual = st.esc_residual;
   }

@@ -53,6 +53,19 @@ type result = {
   cache_hits : int;        (** verdict-cache hits of this run (0 uncached) *)
   elapsed_s : float;
   baseline_s : float;      (** duration of one implement call (Rtime unit) *)
+  resumed_steps : int;     (** accepted steps replayed from a checkpoint journal *)
+  pool_retries : int;      (** supervised worker-pool task retries during the run *)
+  pool_fallbacks : int;    (** pool tasks re-run sequentially in the coordinator *)
+  escalation_retries : int;   (** abort-budget escalation SAT queries *)
+  escalation_resolved : int;  (** aborts turned into verdicts by escalation *)
+  aborted_residual : int;
+      (** aborts surviving every escalation ladder of the run — reported,
+          never silently dropped *)
+}
+
+type checkpoint_spec = {
+  path : string;   (** journal file (see {!Checkpoint}) *)
+  resume : bool;   (** continue from an existing journal vs. start fresh *)
 }
 
 val cells_by_internal_faults : Dfm_netlist.Library.t -> Dfm_netlist.Cell.t list
@@ -66,6 +79,9 @@ val run :
   ?sweep:bool ->
   ?context_levels:int ->
   ?cache:Dfm_incr.Cache.t ->
+  ?max_conflicts:int ->
+  ?escalation:Dfm_atpg.Atpg.escalation_policy ->
+  ?checkpoint:checkpoint_spec ->
   ?log:(string -> unit) ->
   Design.t ->
   result
@@ -79,4 +95,19 @@ val run :
     internal-only pre-checks).  Each iteration edits a local region, so
     most fault cones — and therefore verdicts — carry over; the cache skips
     their re-derivation without changing any result ({!Dfm_incr.Cache}).
-    The baseline timing run stays uncached, it is the comparison unit. *)
+    The baseline timing run stays uncached, it is the comparison unit.
+
+    [max_conflicts] bounds every classification SAT query; with
+    [escalation] also set, aborted faults are retried on the geometric
+    budget ladder of {!Dfm_atpg.Atpg.escalate} and any residue is reported
+    in [aborted_residual].
+
+    [checkpoint] journals every design point to [path] ({!Checkpoint}).
+    Resumption contract: kill the process at any instant and re-run with
+    [resume = true] — the completed campaign's final design, trace and
+    counters are bit-identical to the uninterrupted run.  (With a
+    {e persistent} cache the per-event [ev_cache_hits] attribution may
+    differ across a resume, since replay skips re-deriving work; every
+    verdict, design and count is unaffected.)  A journal written under a
+    different configuration (netlist, seed, [p1], [q_max], …) is refused
+    with {!Checkpoint.Error}. *)

@@ -9,6 +9,7 @@ type stats = {
   evictions : int;
   disk_loaded : int;
   disk_dropped : int;
+  degraded : bool;
 }
 
 type t = {
@@ -23,7 +24,22 @@ type t = {
   mutable evictions : int;
   mutable disk_loaded : int;
   mutable disk_dropped : int;
+  mutable degraded : bool;
 }
+
+(* Degrade to memory-only: log once, close the channel best-effort, keep
+   serving lookups and stores from the memory tier.  A failing disk tier
+   (ENOSPC, EACCES, a closed fd, a yanked mount) must never raise out of a
+   campaign — losing persistence is recoverable, losing hours of
+   resynthesis is not. *)
+let disable_disk t reason =
+  (match t.chan with
+  | None -> ()
+  | Some oc ->
+      t.log (Printf.sprintf "cache: disk tier disabled (%s) — continuing memory-only" reason);
+      close_out_noerr oc;
+      t.chan <- None);
+  t.degraded <- true
 
 (* ---- disk format ----------------------------------------------------
    8-byte magic, then records: u16le payload length | payload | u64le
@@ -134,6 +150,7 @@ let create ?(capacity = 1_000_000) ?path ?(log = fun _ -> ()) () =
       evictions = 0;
       disk_loaded = 0;
       disk_dropped = 0;
+      degraded = false;
     }
   in
   (match path with
@@ -154,8 +171,9 @@ let create ?(capacity = 1_000_000) ?path ?(log = fun _ -> ()) () =
         else write_all path [];
         t.chan <- Some (open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path)
       with Sys_error e ->
-        log (Printf.sprintf "cache: disk tier disabled (%s)" e);
-        t.chan <- None));
+        log (Printf.sprintf "cache: disk tier disabled (%s) — continuing memory-only" e);
+        t.chan <- None;
+        t.degraded <- true));
   t
 
 let find t sg =
@@ -167,17 +185,30 @@ let find t sg =
       t.misses <- t.misses + 1;
       None
 
+(* One disk-tier append, with the [store.append] failpoint modeling every
+   way a real append dies: an exception mid-call, an OS error, and a torn
+   (partial) write that leaves a mis-framed tail for the next open's
+   recovery pass to drop. *)
+let append_record oc b =
+  match Dfm_util.Failpoint.check "store.append" with
+  | Some Dfm_util.Failpoint.Raise -> raise (Dfm_util.Failpoint.Injected "store.append")
+  | Some Dfm_util.Failpoint.Io_error -> raise (Sys_error "failpoint: store.append")
+  | Some Dfm_util.Failpoint.Partial_write ->
+      output_bytes oc (Bytes.sub b 0 (Bytes.length b / 2));
+      raise (Sys_error "failpoint: store.append (partial write)")
+  | Some (Dfm_util.Failpoint.Delay s) ->
+      Unix.sleepf s;
+      output_bytes oc b
+  | None -> output_bytes oc b
+
 let add t sg v =
   if adopt t sg v then begin
     t.stores <- t.stores + 1;
     match t.chan with
     | None -> ()
     | Some oc -> (
-        try output_bytes oc (record_bytes sg v)
-        with Sys_error e ->
-          t.log (Printf.sprintf "cache: disk tier disabled (%s)" e);
-          close_out_noerr oc;
-          t.chan <- None)
+        try append_record oc (record_bytes sg v)
+        with e -> disable_disk t (Printexc.to_string e))
   end
 
 let mem_size t = Hashtbl.length t.tbl
@@ -190,6 +221,7 @@ let stats t =
     evictions = t.evictions;
     disk_loaded = t.disk_loaded;
     disk_dropped = t.disk_dropped;
+    degraded = t.degraded;
   }
 
 let hit_rate t =
@@ -197,7 +229,9 @@ let hit_rate t =
   if n = 0 then 0.0 else float_of_int t.hits /. float_of_int n
 
 let flush t =
-  match t.chan with None -> () | Some oc -> ( try Stdlib.flush oc with Sys_error _ -> ())
+  match t.chan with
+  | None -> ()
+  | Some oc -> ( try Stdlib.flush oc with e -> disable_disk t (Printexc.to_string e))
 
 let close t =
   match t.chan with

@@ -26,6 +26,10 @@ type stats = {
   evictions : int;
   disk_loaded : int;   (** records adopted from the disk tier at open *)
   disk_dropped : int;  (** corrupted/truncated records discarded at open *)
+  degraded : bool;
+      (** the disk tier was disabled by an I/O failure (ENOSPC, EACCES, a
+          closed fd, …) — logged once, after which the store runs
+          memory-only; lookups and stores never raise for disk reasons *)
 }
 
 type t

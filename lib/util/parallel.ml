@@ -81,13 +81,23 @@ let create ~jobs =
 
 let jobs t = t.jobs
 
+(* Idempotent: the domain list is claimed under the mutex, so a second call
+   (or the at_exit hook racing an explicit shutdown of the global pool)
+   finds an empty list and returns without joining anything twice. *)
 let shutdown t =
   Mutex.lock t.mutex;
   t.stop <- true;
+  let domains = t.domains in
+  t.domains <- [];
   Condition.broadcast t.work;
   Mutex.unlock t.mutex;
-  List.iter Domain.join t.domains;
-  t.domains <- []
+  List.iter Domain.join domains
+
+let stopped t =
+  Mutex.lock t.mutex;
+  let s = t.stop in
+  Mutex.unlock t.mutex;
+  s
 
 let run_sequential tasks = Array.iter (fun task -> task ()) tasks
 
@@ -124,6 +134,61 @@ let run_tasks t tasks =
       Mutex.unlock t.mutex;
       match failure with Some e -> raise e | None -> ()
     end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Supervised batches                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type supervision = { retried : int; fell_back : int }
+
+let retried_total = Atomic.make 0
+let fallback_total = Atomic.make 0
+
+let supervision_totals () = (Atomic.get retried_total, Atomic.get fallback_total)
+
+(* Every task execution — worker attempt or coordinator fallback — passes
+   through the [parallel.task] failpoint, so resilience tests can poison
+   tasks without touching caller code. *)
+let attempt task =
+  Failpoint.hit "parallel.task";
+  task ()
+
+let run_tasks_supervised ?(retries = 2) t tasks =
+  let n = Array.length tasks in
+  if n = 0 then { retried = 0; fell_back = 0 }
+  else begin
+    let retried = Atomic.make 0 in
+    let failed = Array.make n false in
+    (* The wrapped task retries in place (in whichever domain claimed it)
+       and never lets an exception reach the pool: a task still failing
+       after its retries only marks its slot for the coordinator. *)
+    let wrap i () =
+      let rec go k =
+        match attempt tasks.(i) with
+        | () -> ()
+        | exception _ when k < retries ->
+            Atomic.incr retried;
+            Atomic.incr retried_total;
+            go (k + 1)
+        | exception _ -> failed.(i) <- true
+      in
+      go 0
+    in
+    run_tasks t (Array.init n wrap);
+    (* Sequential fallback: the batch's poisoned shards re-run one final
+       time in the coordinator, where an exception is a real error and
+       propagates to the caller instead of killing a worker domain. *)
+    let fell_back = ref 0 in
+    Array.iteri
+      (fun i f ->
+        if f then begin
+          incr fell_back;
+          Atomic.incr fallback_total;
+          attempt tasks.(i)
+        end)
+      failed;
+    { retried = Atomic.get retried; fell_back = !fell_back }
   end
 
 let map t f xs =
@@ -164,7 +229,7 @@ let at_exit_registered = ref false
 let get ?jobs () =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   match !default with
-  | Some t when t.jobs = jobs -> t
+  | Some t when t.jobs = jobs && not (stopped t) -> t
   | prev ->
       Option.iter shutdown prev;
       let t = create ~jobs in

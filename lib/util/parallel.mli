@@ -23,11 +23,35 @@ val jobs : t -> int
 
 val shutdown : t -> unit
 (** Join the worker domains.  The pool must be idle; using it afterwards
-    runs everything sequentially in the caller. *)
+    runs everything sequentially in the caller.  Idempotent: a second call
+    — including the [at_exit] hook of the global pool racing an explicit
+    shutdown — is a no-op. *)
 
 val run_tasks : t -> (unit -> unit) array -> unit
 (** Run every task to completion.  The first exception raised by a task is
     re-raised in the caller after the whole batch has drained. *)
+
+type supervision = {
+  retried : int;    (** in-place task retries this batch *)
+  fell_back : int;  (** tasks re-run sequentially in the coordinator *)
+}
+
+val run_tasks_supervised : ?retries:int -> t -> (unit -> unit) array -> supervision
+(** {!run_tasks}, but a task that raises is retried in place up to
+    [retries] times (default 2), and a task still failing after that is
+    re-run one final time sequentially in the coordinator once the batch
+    has drained — so one poisoned worker-task degrades throughput instead
+    of killing the batch.  Only that final coordinator attempt may raise.
+
+    Tasks must be restartable: re-running one must reach the same final
+    state (true of the engine's shard tasks, which write pure per-index
+    results to disjoint slots).  Every attempt passes the [parallel.task]
+    {!Failpoint} site, which is how the resilience tests inject task
+    failures. *)
+
+val supervision_totals : unit -> int * int
+(** Cumulative [(retried, fell_back)] across every supervised batch of the
+    process — campaign reports read the delta around a run. *)
 
 val map : t -> ('a -> 'b) -> 'a array -> 'b array
 (** Order-preserving parallel map. *)

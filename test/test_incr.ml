@@ -14,6 +14,7 @@ module Store = Dfm_incr.Store
 module Signature = Dfm_incr.Signature
 module Invalidate = Dfm_incr.Invalidate
 module Cache = Dfm_incr.Cache
+module Failpoint = Dfm_util.Failpoint
 
 let lib = Dfm_cellmodel.Osu018.library
 let origin = { F.category = Dfm_cellmodel.Defect.Via; guideline_index = 0 }
@@ -131,6 +132,80 @@ let test_disk_recovery () =
   Alcotest.(check int) "no drops after compaction" 0 st3.Store.disk_dropped;
   Alcotest.(check bool) "post-recovery append survived" true
     (Store.find s3 (sig_of_i 100) = Some Store.Undetectable);
+  Store.close s3;
+  Sys.remove path
+
+(* A disk-tier write failure mid-campaign must not raise out of [add]:
+   the store logs once, drops to memory-only, and keeps serving.  Only
+   the records appended before the failure survive a reopen. *)
+let test_disk_degrades_to_memory () =
+  Failpoint.clear ();
+  Fun.protect ~finally:Failpoint.clear @@ fun () ->
+  let path = fresh_path () in
+  let logged = ref [] in
+  let s = Store.create ~path ~log:(fun m -> logged := m :: !logged) () in
+  for i = 0 to 4 do
+    Store.add s (sig_of_i i) (verdict_of_i i)
+  done;
+  Failpoint.enable "store.append" Failpoint.Io_error;
+  for i = 5 to 9 do
+    Store.add s (sig_of_i i) (verdict_of_i i) (* must not raise *)
+  done;
+  Alcotest.(check bool) "degraded" true (Store.stats s).Store.degraded;
+  Alcotest.(check int) "degradation logged exactly once" 1 (List.length !logged);
+  (* the memory tier is unaffected: every verdict is still served *)
+  for i = 0 to 9 do
+    Alcotest.(check bool)
+      (Printf.sprintf "verdict %d served memory-only" i)
+      true
+      (Store.find s (sig_of_i i) = Some (verdict_of_i i))
+  done;
+  Store.close s;
+  Failpoint.clear ();
+  let s2 = Store.create ~path () in
+  let st = Store.stats s2 in
+  Alcotest.(check int) "only pre-failure records persisted" 5 st.Store.disk_loaded;
+  Alcotest.(check bool) "post-failure record not on disk" true
+    (Store.find s2 (sig_of_i 7) = None);
+  Store.close s2;
+  Sys.remove path
+
+(* A torn (half-written) record degrades the writer, and the next open
+   recovers the intact prefix, drops the torn tail, and compacts so later
+   appends land on a well-framed log. *)
+let test_disk_partial_write_recovery () =
+  Failpoint.clear ();
+  Fun.protect ~finally:Failpoint.clear @@ fun () ->
+  let path = fresh_path () in
+  let s = Store.create ~path () in
+  Failpoint.enable ~after:3 "store.append" Failpoint.Partial_write;
+  for i = 0 to 5 do
+    Store.add s (sig_of_i i) (verdict_of_i i)
+  done;
+  (* records 0..2 appended cleanly, record 3 was torn mid-write *)
+  Alcotest.(check bool) "torn write degrades the store" true
+    (Store.stats s).Store.degraded;
+  Store.close s;
+  Failpoint.clear ();
+  let logged = ref [] in
+  let s2 = Store.create ~path ~log:(fun m -> logged := m :: !logged) () in
+  let st = Store.stats s2 in
+  Alcotest.(check int) "intact prefix recovered" 3 st.Store.disk_loaded;
+  Alcotest.(check int) "torn tail dropped" 1 st.Store.disk_dropped;
+  Alcotest.(check bool) "recovery logged" true (!logged <> []);
+  Alcotest.(check bool) "torn record gone" true (Store.find s2 (sig_of_i 3) = None);
+  for i = 0 to 2 do
+    Alcotest.(check bool)
+      (Printf.sprintf "record %d intact" i)
+      true
+      (Store.find s2 (sig_of_i i) = Some (verdict_of_i i))
+  done;
+  Store.add s2 (sig_of_i 50) Store.Detected;
+  Store.close s2;
+  let s3 = Store.create ~path () in
+  let st3 = Store.stats s3 in
+  Alcotest.(check int) "compacted log loads clean" 4 st3.Store.disk_loaded;
+  Alcotest.(check int) "no drops after compaction" 0 st3.Store.disk_dropped;
   Store.close s3;
   Sys.remove path
 
@@ -374,6 +449,8 @@ let suite =
     Alcotest.test_case "store counters and FIFO eviction" `Quick test_store_counters;
     Alcotest.test_case "disk round trip" `Quick test_disk_round_trip;
     Alcotest.test_case "disk corruption recovery" `Quick test_disk_recovery;
+    Alcotest.test_case "disk failure degrades to memory-only" `Quick test_disk_degrades_to_memory;
+    Alcotest.test_case "partial write recovered on reopen" `Quick test_disk_partial_write_recovery;
     Alcotest.test_case "signature id-independence and locality" `Quick test_signature_id_independence;
     Alcotest.test_case "signature determinism and params" `Quick test_signature_determinism_and_params;
     Alcotest.test_case "resweep matches full sweep" `Quick test_resweep_matches_full_sweep;

@@ -4,6 +4,7 @@ let () =
   Alcotest.run "dfm_resynthesis"
     [
       ("util", Test_util.suite);
+      ("failpoint", Test_failpoint.suite);
       ("parallel", Test_parallel.suite);
       ("properties", Test_properties.suite);
       ("logic", Test_logic.suite);
@@ -21,4 +22,5 @@ let () =
       ("diagnose", Test_diagnose.suite);
       ("circuits", Test_circuits.suite);
       ("resynth", Test_resynth.suite);
+      ("checkpoint", Test_checkpoint.suite);
     ]

@@ -75,6 +75,90 @@ let test_exception_propagates () =
   Parallel.shutdown pool;
   Alcotest.(check bool) "pool usable after failure" true (ok = [| 2; 3; 4 |])
 
+let test_shutdown_idempotent () =
+  let pool = Parallel.create ~jobs:3 in
+  let got = Parallel.map pool (fun x -> x * 2) [| 1; 2; 3 |] in
+  Alcotest.(check bool) "pool works" true (got = [| 2; 4; 6 |]);
+  Parallel.shutdown pool;
+  (* the regression: a second shutdown (e.g. the at_exit hook of the global
+     pool racing an explicit one) must not join the same domains twice *)
+  Parallel.shutdown pool;
+  Parallel.shutdown pool;
+  (* a stopped pool still runs batches, sequentially in the caller *)
+  let after = Parallel.map pool (fun x -> x + 1) [| 1; 2; 3 |] in
+  Alcotest.(check bool) "stopped pool degrades to sequential" true (after = [| 2; 3; 4 |])
+
+(* ------------------------------------------------------------------ *)
+(* Supervised batches                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_supervised_clean_batch () =
+  let pool = Parallel.create ~jobs:4 in
+  let out = Array.make 100 0 in
+  let sup =
+    Parallel.run_tasks_supervised pool (Array.init 100 (fun i () -> out.(i) <- i + 1))
+  in
+  Parallel.shutdown pool;
+  Alcotest.(check bool) "all ran" true (Array.for_all (fun v -> v > 0) out);
+  Alcotest.(check int) "no retries" 0 sup.Parallel.retried;
+  Alcotest.(check int) "no fallbacks" 0 sup.Parallel.fell_back
+
+let test_supervised_flaky_task_retried () =
+  let pool = Parallel.create ~jobs:4 in
+  let attempts = Array.init 8 (fun _ -> Atomic.make 0) in
+  let out = Array.make 8 0 in
+  (* task 5 fails on its first two attempts, succeeds on the third — within
+     the default retry budget, so the batch completes without fallback *)
+  let sup =
+    Parallel.run_tasks_supervised pool
+      (Array.init 8 (fun i () ->
+           let n = Atomic.fetch_and_add attempts.(i) 1 in
+           if i = 5 && n < 2 then raise Boom;
+           out.(i) <- i + 1))
+  in
+  Parallel.shutdown pool;
+  Alcotest.(check bool) "every slot filled" true (Array.for_all (fun v -> v > 0) out);
+  Alcotest.(check int) "two in-place retries" 2 sup.Parallel.retried;
+  Alcotest.(check int) "no coordinator fallback" 0 sup.Parallel.fell_back
+
+let test_supervised_fallback_then_success () =
+  let pool = Parallel.create ~jobs:3 in
+  let attempts = Atomic.make 0 in
+  let done_ = ref false in
+  (* fails on attempts 1..3 (exhausting retries=2), succeeds on the 4th —
+     which is the sequential coordinator fallback *)
+  let sup =
+    Parallel.run_tasks_supervised pool
+      [|
+        (fun () ->
+          let n = Atomic.fetch_and_add attempts 1 in
+          if n < 3 then raise Boom;
+          done_ := true);
+        (fun () -> ());
+      |]
+  in
+  Parallel.shutdown pool;
+  Alcotest.(check bool) "task eventually completed" true !done_;
+  Alcotest.(check int) "retried twice in place" 2 sup.Parallel.retried;
+  Alcotest.(check int) "one fallback" 1 sup.Parallel.fell_back
+
+let test_supervised_poisoned_task_raises_in_coordinator () =
+  let pool = Parallel.create ~jobs:3 in
+  let others = Atomic.make 0 in
+  (try
+     ignore
+       (Parallel.run_tasks_supervised pool
+          (Array.init 10 (fun i () ->
+               if i = 4 then raise Boom else Atomic.incr others))
+         : Parallel.supervision);
+     Alcotest.fail "expected Boom from the coordinator fallback"
+   with Boom -> ());
+  (* the poisoned task degraded, it did not kill the rest of the batch *)
+  Alcotest.(check int) "other tasks all completed" 9 (Atomic.get others);
+  let ok = Parallel.map pool (fun x -> x + 1) [| 1; 2 |] in
+  Parallel.shutdown pool;
+  Alcotest.(check bool) "pool survives" true (ok = [| 2; 3 |])
+
 let test_nested_submission_degrades () =
   let pool = Parallel.create ~jobs:2 in
   let hits = Array.make 4 0 in
@@ -150,6 +234,24 @@ let test_classify_jobs_bit_identical () =
         [ 2; 3; 4; 9 ])
     [ 11; 222; 3333 ]
 
+(* The acceptance-level check: classification under injected task failures
+   (each shard raising on its first attempts) is bit-identical to the clean
+   sequential run. *)
+let test_classify_with_failpoints_bit_identical () =
+  let nl = random_netlist 4242 5 30 in
+  let faults = all_faults nl in
+  let ref_cls = Atpg.classify ~jobs:1 nl faults in
+  Dfm_util.Failpoint.clear ();
+  Fun.protect ~finally:Dfm_util.Failpoint.clear @@ fun () ->
+  Dfm_util.Failpoint.enable ~times:4 "parallel.task" Dfm_util.Failpoint.Raise;
+  let cls = Atpg.classify ~jobs:4 nl faults in
+  Alcotest.(check bool) "statuses identical under injected failures" true
+    (cls.Atpg.status = ref_cls.Atpg.status);
+  Alcotest.(check bool) "counts identical under injected failures" true
+    (cls.Atpg.counts = ref_cls.Atpg.counts);
+  Alcotest.(check bool) "failpoint actually exercised" true
+    (Dfm_util.Failpoint.hit_count "parallel.task" > 0)
+
 (* The ISSUE-level regression: a full Design.implement of a benchmark block
    at jobs=1 and jobs=4 gives identical per-fault statuses and identical
    metrics. *)
@@ -170,6 +272,14 @@ let suite =
     Alcotest.test_case "chunk bounds tile the range" `Quick test_chunk_bounds;
     Alcotest.test_case "run_tasks disjoint writes" `Quick test_run_tasks_disjoint_writes;
     Alcotest.test_case "exceptions propagate" `Quick test_exception_propagates;
+    Alcotest.test_case "shutdown is idempotent" `Quick test_shutdown_idempotent;
+    Alcotest.test_case "supervised clean batch" `Quick test_supervised_clean_batch;
+    Alcotest.test_case "supervised flaky task retried" `Quick test_supervised_flaky_task_retried;
+    Alcotest.test_case "supervised fallback succeeds" `Quick test_supervised_fallback_then_success;
+    Alcotest.test_case "supervised poisoned task raises in coordinator" `Quick
+      test_supervised_poisoned_task_raises_in_coordinator;
+    Alcotest.test_case "classify bit-identical under injected task failures" `Quick
+      test_classify_with_failpoints_bit_identical;
     Alcotest.test_case "nested submission degrades" `Quick test_nested_submission_degrades;
     Alcotest.test_case "classify bit-identical across jobs" `Quick test_classify_jobs_bit_identical;
     Alcotest.test_case "Design.implement deterministic across jobs" `Slow

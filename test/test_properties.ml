@@ -342,6 +342,45 @@ let prop_cache_never_changes_verdicts =
           && carried.Atpg.counts.Atpg.sat_queries <= plain.Atpg.counts.Atpg.sat_queries)
         versions)
 
+(* The abort-budget escalation ladder must be a pure effort policy: when
+   it resolves every abort, the result is bit-identical (modulo
+   [sat_queries]) to one classification run straight at the ladder's final
+   budget, and each rung can only shrink the aborted set.  This is the
+   budget-monotonicity argument of [Atpg.escalate] made executable. *)
+let prop_escalation_matches_final_budget =
+  QCheck.Test.make ~name:"abort escalation equals one classify at the final budget" ~count:10
+    QCheck.(pair (int_range 1 10000) (int_range 6 14))
+    (fun (seed, ngates) ->
+      let nl = random_netlist seed 5 ngates in
+      let rng = Rng.create (seed lxor 0xabcd) in
+      let faults = Array.of_list (faults_of_netlist nl rng) in
+      let mc = 1 in
+      let policy = { Atpg.factor = 4; max_total_conflicts = 1_000_000 } in
+      let cls = Atpg.classify ~max_conflicts:mc nl faults in
+      let esc, stats = Atpg.escalate ~policy ~max_conflicts:mc nl faults cls in
+      let monotone =
+        let rec ok prev = function
+          | [] -> true
+          | x :: tl -> x <= prev && ok x tl
+        in
+        ok cls.Atpg.counts.Atpg.aborted stats.Atpg.aborted_per_rung
+      in
+      if not monotone then
+        QCheck.Test.fail_reportf "aborted_per_rung not monotone: start %d, rungs [%s]"
+          cls.Atpg.counts.Atpg.aborted
+          (String.concat "; " (List.map string_of_int stats.Atpg.aborted_per_rung));
+      if esc.Atpg.counts.Atpg.aborted <> stats.Atpg.residual then
+        QCheck.Test.fail_reportf "residual %d but escalated classification reports %d aborts"
+          stats.Atpg.residual esc.Atpg.counts.Atpg.aborted;
+      stats.Atpg.residual > 0
+      ||
+      let rec final b k = if k = 0 then b else final (b * policy.Atpg.factor) (k - 1) in
+      let straight = Atpg.classify ~max_conflicts:(final mc stats.Atpg.rungs) nl faults in
+      same_classification esc straight
+      || QCheck.Test.fail_reportf
+           "ladder (%d rungs, %d retried) differs from classify at final budget %d"
+           stats.Atpg.rungs stats.Atpg.retried (final mc stats.Atpg.rungs))
+
 (* The incremental resweep must be observationally identical to a full
    sweep: same support hash for every net, same signature for every fault,
    on a random netlist after a random gate replacement. *)
@@ -378,5 +417,6 @@ let suite =
     QCheck_alcotest.to_alcotest prop_tseitin_vs_truth_table;
     QCheck_alcotest.to_alcotest prop_tseitin_gates;
     QCheck_alcotest.to_alcotest prop_cache_never_changes_verdicts;
+    QCheck_alcotest.to_alcotest prop_escalation_matches_final_budget;
     QCheck_alcotest.to_alcotest prop_resweep_equals_full_sweep;
   ]
