@@ -14,7 +14,9 @@
 
    REPRO_SCALE scales the generated blocks (default 1.0);
    REPRO_CIRCUITS restricts table2 to a comma-separated subset;
-   REPRO_SCALING_JSON writes the scaling section's JSON record to a file. *)
+   REPRO_SCALING_JSON writes the scaling section's JSON record to a file;
+   REPRO_OBS_JSON writes the final observability metrics snapshot (every
+   counter, gauge and histogram of the run) as JSON to a file. *)
 
 module Design = Dfm_core.Design
 module Resynth = Dfm_core.Resynth
@@ -412,20 +414,22 @@ let run_cache () =
           (100.0 *. e.Report.ef_hit_rate) t_plain t_cached
           (t_plain /. Float.max 1e-9 t_cached)
           identical;
-        (name, plain.Resynth.sat_queries, cached.Resynth.sat_queries, saved,
-         e.Report.ef_hit_rate, t_plain /. Float.max 1e-9 t_cached, identical))
+        (name, plain.Resynth.sat_queries, cached.Resynth.sat_queries, saved, e,
+         t_plain /. Float.max 1e-9 t_cached, identical))
       picks
   in
   let json =
     Printf.sprintf "{\"section\":\"cache\",\"results\":[%s]}"
       (String.concat ","
          (List.map
-            (fun (name, q0, q1, saved, hit_rate, speedup, identical) ->
+            (fun (name, q0, q1, saved, e, speedup, identical) ->
               Printf.sprintf
                 "{\"circuit\":\"%s\",\"sat_queries_uncached\":%d,\"sat_queries_cached\":%d,\
-                 \"sat_queries_saved\":%d,\"hit_rate\":%.4f,\"speedup\":%.3f,\
+                 \"sat_queries_saved\":%d,\"hit_rate\":%.4f,\"conflicts\":%d,\
+                 \"decisions\":%d,\"propagations\":%d,\"speedup\":%.3f,\
                  \"identical\":%b}"
-                name q0 q1 saved hit_rate speedup identical)
+                name q0 q1 saved e.Report.ef_hit_rate e.Report.ef_conflicts
+                e.Report.ef_decisions e.Report.ef_propagations speedup identical)
             rows))
   in
   Printf.printf "cache-json: %s\n" json;
@@ -512,5 +516,16 @@ let () =
   if wants "scaling" then run_scaling ();
   if wants "cache" then run_cache ();
   if wants "micro" then run_micro ();
+  (* The process-wide metrics registry has been counting all along (SAT
+     effort, cache traffic, pool activity, ...): snapshot it on request so
+     a harness run doubles as an observability record. *)
+  (match Sys.getenv_opt "REPRO_OBS_JSON" with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc
+        (Dfm_obs.Export.metrics_json_string (Dfm_obs.Metrics.snapshot ()) ^ "\n");
+      close_out oc;
+      Printf.printf "wrote %s\n" path);
   print_newline ();
   print_endline "done."

@@ -62,6 +62,63 @@ let apply_failpoints specs =
           exit 2)
     specs
 
+(* ---- observability ---- *)
+
+let trace_arg =
+  let doc =
+    "Record hierarchical spans (campaign, q-step, phase, candidate, implement, classify, \
+     SAT solve) and write them to $(docv) as Chrome trace-event JSON — load it in \
+     Perfetto or chrome://tracing.  Results are bit-identical with or without tracing."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Write a metrics snapshot (SAT effort, cache traffic, pool load, checkpoint frames, \
+     escalation ladder) to $(docv) in Prometheus text exposition format at exit."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let log_level_arg =
+  let doc = "Log verbosity on stderr: $(b,error), $(b,warn) (default), $(b,info) or $(b,debug)." in
+  Arg.(value & opt (some string) None & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+
+let progress_arg =
+  let doc = "Show a live one-line progress display on stderr while the campaign runs." in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
+type obs = { trace : string option; metrics : string option }
+
+let apply_obs trace metrics log_level progress =
+  Dfm_obs.Log.set_sink (Some Dfm_obs.Log.stderr_sink);
+  (match log_level with
+  | None -> ()
+  | Some s -> (
+      match Dfm_obs.Log.level_of_string s with
+      | Some l -> Dfm_obs.Log.set_level l
+      | None ->
+          Fmt.epr "dfm_resynth: --log-level %s: expected error, warn, info or debug@." s;
+          exit 2));
+  if trace <> None then Dfm_obs.Span.set_enabled true;
+  (* Duration histograms need clock reads; pay for them only when some
+     exporter will consume the data. *)
+  if trace <> None || metrics <> None then Dfm_obs.Metrics.set_timing_enabled true;
+  Dfm_obs.Progress.set_enabled progress;
+  { trace; metrics }
+
+let finish_obs o =
+  Dfm_obs.Progress.finish ();
+  (match o.trace with
+  | None -> ()
+  | Some path ->
+      Dfm_obs.Export.write_chrome_trace path (Dfm_obs.Span.drain ());
+      Fmt.pr "wrote trace %s@." path);
+  match o.metrics with
+  | None -> ()
+  | Some path ->
+      Dfm_obs.Export.write_prometheus path (Dfm_obs.Metrics.snapshot ());
+      Fmt.pr "wrote metrics %s@." path
+
 let max_conflicts_arg =
   let doc =
     "Bound every classification SAT query to $(docv) solver conflicts.  Faults the budget \
@@ -235,9 +292,11 @@ let cells_cmd =
 (* ---- analyze ---- *)
 
 let analyze_cmd =
-  let run name scale jobs cache_dir expect_hits max_conflicts failpoints =
+  let run name scale jobs cache_dir expect_hits max_conflicts failpoints trace metrics
+      log_level progress =
     apply_jobs jobs;
     apply_failpoints failpoints;
+    let obs = apply_obs trace metrics log_level progress in
     let nl = build ?scale name in
     Fmt.pr "building and implementing %s (%d jobs) ...@." name
       (Dfm_util.Parallel.default_jobs ());
@@ -261,12 +320,14 @@ let analyze_cmd =
       (String.concat " "
          (List.filteri (fun i _ -> i < 8) clusters
          |> List.map (fun c -> string_of_int (List.length c))));
-    report_cache ~expect_hits cache
+    report_cache ~expect_hits cache;
+    finish_obs obs
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Implement a block and report its fault clustering.")
     Term.(
       const run $ circuit_arg $ scale_arg $ jobs_arg $ cache_dir_arg $ expect_hits_arg
-      $ max_conflicts_arg $ failpoint_arg)
+      $ max_conflicts_arg $ failpoint_arg $ trace_arg $ metrics_arg $ log_level_arg
+      $ progress_arg)
 
 (* ---- resynth ---- *)
 
@@ -283,9 +344,10 @@ let resynth_cmd =
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print accepted steps.") in
   let run name scale jobs cache_dir expect_hits q_max p1 out verbose max_conflicts failpoints
-      checkpoint_dir resume =
+      checkpoint_dir resume trace metrics log_level progress =
     apply_jobs jobs;
     apply_failpoints failpoints;
+    let obs = apply_obs trace metrics log_level progress in
     let checkpoint = make_checkpoint checkpoint_dir resume in
     let nl = build ?scale name in
     Fmt.pr "implementing %s (%d jobs) ...@." name (Dfm_util.Parallel.default_jobs ());
@@ -293,9 +355,12 @@ let resynth_cmd =
     let escalation = escalation_of max_conflicts in
     let d0 = Design.implement ?cache ?max_conflicts ?escalation nl in
     Fmt.pr "original:      %a@." Design.pp_metrics (Design.metrics d0);
-    let log = if verbose then fun s -> Fmt.pr "  %s@." s else fun _ -> () in
+    (* -v keeps its historical behaviour through the deprecated [?log]
+       shim; without it campaign messages flow through Dfm_obs.Log and
+       appear at --log-level info. *)
+    let log = if verbose then Some (fun s -> Fmt.pr "  %s@." s) else None in
     let r =
-      try Resynth.run ~p1_percent:p1 ~q_max ?cache ?max_conflicts ?escalation ?checkpoint ~log d0
+      try Resynth.run ~p1_percent:p1 ~q_max ?cache ?max_conflicts ?escalation ?checkpoint ?log d0
       with
       | Dfm_core.Checkpoint.Error msg ->
           Fmt.epr "dfm_resynth: %s@." msg;
@@ -320,13 +385,14 @@ let resynth_cmd =
     | Dfm_atpg.Equiv_sat.Equivalent -> Fmt.pr "equivalence: PROVEN@."
     | Dfm_atpg.Equiv_sat.Different l -> Fmt.pr "equivalence: FAILED at %s@." l
     | Dfm_atpg.Equiv_sat.Interface_mismatch m -> Fmt.pr "equivalence: interface %s@." m);
-    match out with
+    (match out with
     | None -> ()
     | Some path ->
         let oc = open_out path in
         output_string oc (Dfm_netlist.Netlist_io.to_string r.Resynth.final.Design.netlist);
         close_out oc;
-        Fmt.pr "wrote %s@." path
+        Fmt.pr "wrote %s@." path);
+    finish_obs obs
   in
   Cmd.v
     (Cmd.info "resynth"
@@ -334,7 +400,7 @@ let resynth_cmd =
     Term.(
       const run $ circuit_arg $ scale_arg $ jobs_arg $ cache_dir_arg $ expect_hits_arg $ q_max
       $ p1 $ out $ verbose $ max_conflicts_arg $ failpoint_arg $ checkpoint_dir_arg
-      $ resume_arg)
+      $ resume_arg $ trace_arg $ metrics_arg $ log_level_arg $ progress_arg)
 
 (* ---- ablate ---- *)
 

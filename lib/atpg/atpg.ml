@@ -4,6 +4,25 @@ module Ls = Dfm_sim.Logic_sim
 module Fs = Dfm_sim.Fault_sim
 module Rng = Dfm_util.Rng
 module Parallel = Dfm_util.Parallel
+module Span = Dfm_obs.Span
+module Metrics = Dfm_obs.Metrics
+
+(* Escalation-ladder metrics (see [escalate]); registered up front so the
+   family is always present in the exposition. *)
+let m_esc_rungs =
+  Metrics.counter ~help:"Escalation ladder rungs executed" "dfm_escalation_rungs_total"
+
+let m_esc_retried =
+  Metrics.counter ~help:"Aborted faults retried on the escalation ladder"
+    "dfm_escalation_retries_total"
+
+let m_esc_resolved =
+  Metrics.counter ~help:"Aborted faults resolved by escalation"
+    "dfm_escalation_resolved_total"
+
+let m_classified =
+  Metrics.counter ~help:"Faults classified (including cache hits)"
+    "dfm_atpg_faults_classified_total"
 
 type status = Detected | Undetectable | Aborted
 
@@ -135,7 +154,11 @@ let finish_counts s =
 let shard_bounds ~jobs nf = Parallel.chunk_bounds ~chunk:((nf + jobs - 1) / jobs) nf
 
 let classify ?(seed = 1) ?max_conflicts ?(random_blocks = 16) ?jobs ?cache nl faults =
+  Span.with_ "atpg.classify"
+    ~attrs:[ ("faults", string_of_int (Array.length faults)) ]
+  @@ fun () ->
   let nf = Array.length faults in
+  Metrics.incr ~by:nf m_classified;
   let jobs =
     let j = match jobs with Some j -> j | None -> Parallel.default_jobs () in
     max 1 (min j (max 1 nf))
@@ -206,7 +229,11 @@ let classify ?(seed = 1) ?max_conflicts ?(random_blocks = 16) ?jobs ?cache nl fa
       ignore
         (Parallel.run_tasks_supervised pool
            (Array.mapi
-              (fun k (lo, hi) () -> sim_range s shard_fs.(k) ~good ~lo ~hi)
+              (fun k (lo, hi) () ->
+                Span.with_ "classify.shard"
+                  ~attrs:
+                    [ ("phase", "sim"); ("lo", string_of_int lo); ("hi", string_of_int hi) ]
+                  (fun () -> sim_range s shard_fs.(k) ~good ~lo ~hi))
               bounds)
           : Parallel.supervision);
       left := unresolved_count s
@@ -215,7 +242,11 @@ let classify ?(seed = 1) ?max_conflicts ?(random_blocks = 16) ?jobs ?cache nl fa
     ignore
       (Parallel.run_tasks_supervised pool
          (Array.mapi
-            (fun _k (lo, hi) () -> ignore (sat_range ?max_conflicts s ~lo ~hi : int))
+            (fun _k (lo, hi) () ->
+              Span.with_ "classify.shard"
+                ~attrs:
+                  [ ("phase", "sat"); ("lo", string_of_int lo); ("hi", string_of_int hi) ]
+                (fun () -> ignore (sat_range ?max_conflicts s ~lo ~hi : int)))
             bounds)
         : Parallel.supervision)
   end;
@@ -267,6 +298,9 @@ let escalate ?(policy = default_escalation) ?cache ~max_conflicts nl faults
     (cls : classification) =
   if cls.counts.aborted = 0 then (cls, no_escalation)
   else begin
+    Span.with_ "atpg.escalate"
+      ~attrs:[ ("aborted", string_of_int cls.counts.aborted) ]
+    @@ fun () ->
     let factor = max 2 policy.factor in
     let nf = Array.length faults in
     let pending = ref [] in
@@ -327,6 +361,9 @@ let escalate ?(policy = default_escalation) ?cache ~max_conflicts nl faults
         per_rung := List.length !pending :: !per_rung
       end
     done;
+    Metrics.incr ~by:!rungs m_esc_rungs;
+    Metrics.incr ~by:!retried m_esc_retried;
+    Metrics.incr ~by:!resolved m_esc_resolved;
     ( finish_counts s,
       {
         rungs = !rungs;

@@ -5,6 +5,9 @@ module Tt = Dfm_logic.Truthtable
 
 type verdict = Test of bool array | Redundant | Aborted
 
+let m_backtracks =
+  Dfm_obs.Metrics.counter ~help:"PODEM search backtracks" "dfm_podem_backtracks_total"
+
 (* Three-valued logic: 0, 1, X. *)
 type v3 = V0 | V1 | VX
 
@@ -256,4 +259,8 @@ let check ?(max_backtracks = 10_000) ls (fault : F.t) =
           search ()
     in
     search ()
-  with Done v -> v
+  with Done v ->
+    (* Flushed once per check, never per backtrack, to keep the search hot
+       path free of atomic traffic. *)
+    Dfm_obs.Metrics.incr ~by:!backtracks m_backtracks;
+    v

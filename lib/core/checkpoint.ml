@@ -21,6 +21,9 @@ type accept = {
   implements : int;
   sat_queries : int;
   run_cache_hits : int;
+  run_conflicts : int;
+  run_decisions : int;
+  run_propagations : int;
   p2 : float;
 }
 
@@ -30,7 +33,14 @@ exception Error of string
 
 type t = { path : string; mutable chan : out_channel option }
 
-let magic = "DFMCK01\n"
+(* v2 added the run-attributed solver-effort counters to [accept].  The
+   bump makes v1 journals fail the magic check, so [attach] restarts them
+   fresh instead of unmarshalling a mismatched record layout. *)
+let magic = "DFMCK02\n"
+
+let m_frames =
+  Dfm_obs.Metrics.counter ~help:"Checkpoint journal frames written"
+    "dfm_checkpoint_frames_total"
 
 (* A frame whose length prefix exceeds this is treated as corruption rather
    than attempted as an allocation: the largest honest payload is one
@@ -165,7 +175,8 @@ let append t entry =
           Unix.sleepf s;
           output_bytes oc b
       | None -> output_bytes oc b);
-      Stdlib.flush oc
+      Stdlib.flush oc;
+      Dfm_obs.Metrics.incr m_frames
 
 let append_event t ev = append t (Event ev)
 let append_accept t a = append t (Accept a)

@@ -48,6 +48,9 @@ type accept = {
   implements : int;
   sat_queries : int;
   run_cache_hits : int;      (** cache hits attributed to the run so far *)
+  run_conflicts : int;       (** solver effort attributed to the run so far *)
+  run_decisions : int;
+  run_propagations : int;
   p2 : float;                (** phase-2 [S_max] bound in force (0 in phase 1) *)
 }
 

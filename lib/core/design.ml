@@ -37,6 +37,9 @@ let undetectable t fid = t.classification.Atpg.status.(fid) = Atpg.Undetectable
 
 let implement ?(seed = 3) ?floorplan ?utilization ?previous ?jobs ?cache ?max_conflicts
     ?escalation netlist =
+  Dfm_obs.Span.with_ "implement"
+    ~attrs:[ ("gates", string_of_int (N.num_gates netlist)) ]
+  @@ fun () ->
   let floorplan =
     match floorplan with
     | Some fp -> fp

@@ -136,6 +136,9 @@ type effort = {
   ef_sat_queries : int;
   ef_cache_hits : int;
   ef_hit_rate : float;
+  ef_conflicts : int;
+  ef_decisions : int;
+  ef_propagations : int;
   ef_resumed_steps : int;
   ef_pool_retries : int;
   ef_pool_fallbacks : int;
@@ -154,6 +157,9 @@ let effort (r : Resynth.result) =
          share served from the cache — a lower bound, since hits also skip
          random-simulation work. *)
       (if lookups = 0 then 0.0 else float_of_int r.Resynth.cache_hits /. float_of_int lookups);
+    ef_conflicts = r.Resynth.conflicts;
+    ef_decisions = r.Resynth.decisions;
+    ef_propagations = r.Resynth.propagations;
     ef_resumed_steps = r.Resynth.resumed_steps;
     ef_pool_retries = r.Resynth.pool_retries;
     ef_pool_fallbacks = r.Resynth.pool_fallbacks;
@@ -164,6 +170,8 @@ let effort (r : Resynth.result) =
 let pp_effort ppf e =
   Format.fprintf ppf "implement calls %d, SAT queries %d, cache hits %d (%.1f%% of hard verdicts)"
     e.ef_implement_calls e.ef_sat_queries e.ef_cache_hits (100.0 *. e.ef_hit_rate);
+  Format.fprintf ppf ", conflicts %d (decisions %d, propagations %d)" e.ef_conflicts
+    e.ef_decisions e.ef_propagations;
   (* Resilience counters appear only when the run actually exercised them:
      the common healthy run keeps its one-line shape. *)
   if e.ef_resumed_steps > 0 then Format.fprintf ppf ", resumed steps %d" e.ef_resumed_steps;

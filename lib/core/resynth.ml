@@ -5,6 +5,8 @@ module F = Dfm_faults.Fault
 module Atpg = Dfm_atpg.Atpg
 module Udfm = Dfm_cellmodel.Udfm
 module IntSet = Set.Make (Int)
+module Span = Dfm_obs.Span
+module Progress = Dfm_obs.Progress
 
 type event = {
   ev_q : int;
@@ -27,6 +29,9 @@ type result = {
   implement_calls : int;
   sat_queries : int;
   cache_hits : int;
+  conflicts : int;
+  decisions : int;
+  propagations : int;
   elapsed_s : float;
   baseline_s : float;
   resumed_steps : int;
@@ -55,6 +60,17 @@ type state = {
   mutable hits_seen : int;  (* cache hits already attributed to an event *)
   mutable hits0 : int;          (* cache counter at run (post-replay) start *)
   mutable hits_restored : int;  (* run-attributed hits restored from the journal *)
+  (* Solver-effort attribution, same shape as the cache-hit attribution:
+     the process-wide [Solver.totals] are snapshot after baseline + replay
+     ([eff0]) and the journaled run-attributed totals of the resumed run are
+     restored separately, so a resumed campaign reports the same effort the
+     uninterrupted run would. *)
+  mutable conf0 : int;
+  mutable dec0 : int;
+  mutable prop0 : int;
+  mutable conf_restored : int;
+  mutable dec_restored : int;
+  mutable prop_restored : int;
   mutable resumed_steps : int;  (* accepted steps replayed from the journal *)
   mutable esc_retried : int;
   mutable esc_resolved : int;
@@ -117,6 +133,15 @@ let event_of_ckpt (e : Checkpoint.event) : event =
    already accounted for. *)
 let run_hits st = st.hits_restored + (cache_hits_so_far st - st.hits0)
 
+(* Run-attributed solver effort (conflicts, decisions, propagations).
+   [Solver.totals] sums over a deterministic query set, so the deltas are
+   order-independent — identical at any [--jobs] count. *)
+let run_effort st =
+  let c, d, p = Dfm_sat.Solver.totals () in
+  ( st.conf_restored + (c - st.conf0),
+    st.dec_restored + (d - st.dec0),
+    st.prop_restored + (p - st.prop0) )
+
 let record st ~q ~phase ~cell ~action (d : Design.t) =
   (* Hits since the previous event: the cache traffic of every implement /
      internal-check call evaluated on the way to this design point. *)
@@ -138,6 +163,9 @@ let record st ~q ~phase ~cell ~action (d : Design.t) =
     }
   in
   st.trace <- ev :: st.trace;
+  Progress.update (fun () ->
+      Printf.sprintf "q=%d phase %d | %d evaluated, %d accepted | U=%d (internal %d) Smax=%d"
+        q phase (List.length st.trace) st.accepted ev.ev_u ev.ev_u_internal ev.ev_smax);
   (* Rejected candidates are journaled here; accepted ones are journaled by
      [run_phase] as Accept records (which embed this same event) once the
      campaign counters have been bumped. *)
@@ -366,6 +394,7 @@ let try_cells st ~q ~phase ~p2 ~region =
             internal faults, is in C_sub − G_zero (the region contains only
             such gates). *)
          if List.mem cell.Cell.name used_in_region then begin
+           Span.with_ "candidate" ~attrs:[ ("cell", cell.Cell.name) ] @@ fun () ->
            let allowed = Library.restrict lib ~excluded:!prefix in
            match evaluate st ~threshold:!best_u_in ~region ~library:allowed with
            | None -> ()  (* eligibility (3) fails: cells not sufficient *)
@@ -419,6 +448,9 @@ let try_cells st ~q ~phase ~p2 ~region =
 (* ------------------------------------------------------------------ *)
 
 let run_phase st ~q ~phase ~p1 ~p2 =
+  Span.with_ "phase"
+    ~attrs:[ ("q", string_of_int q); ("phase", string_of_int phase) ]
+  @@ fun () ->
   let continue_ = ref true in
   while !continue_ do
     continue_ := false;
@@ -445,6 +477,7 @@ let run_phase st ~q ~phase ~p1 ~p2 =
             (match st.ckpt with
             | None -> ()
             | Some ck ->
+                let rc, rd, rp = run_effort st in
                 Checkpoint.append_accept ck
                   {
                     Checkpoint.ev = ckpt_of_event (List.hd st.trace);
@@ -453,6 +486,9 @@ let run_phase st ~q ~phase ~p1 ~p2 =
                     implements = st.implements;
                     sat_queries = st.sat_queries;
                     run_cache_hits = run_hits st;
+                    run_conflicts = rc;
+                    run_decisions = rd;
+                    run_propagations = rp;
                     p2;
                   });
             st.log
@@ -476,7 +512,12 @@ let checkpoint_header ~p1_percent ~q_max ~seed ~sweep ~context_levels ~max_confl
     (match max_conflicts with None -> "-" | Some c -> string_of_int c)
 
 let run ?(p1_percent = 1.0) ?(q_max = 5) ?(seed = 3) ?(sweep = true) ?(context_levels = 2)
-    ?cache ?max_conflicts ?escalation ?checkpoint ?(log = fun _ -> ()) initial =
+    ?cache ?max_conflicts ?escalation ?checkpoint ?log initial =
+  (* [?log] is the deprecated pre-logger callback: when given it still
+     receives every campaign message verbatim; otherwise messages become
+     [Dfm_obs.Log.info] records (dropped until a sink is installed). *)
+  let log = match log with Some f -> f | None -> fun m -> Dfm_obs.Log.info m in
+  Span.with_ "campaign" ~attrs:[ ("q_max", string_of_int q_max) ] @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let pool_retried0, pool_fellback0 = Dfm_util.Parallel.supervision_totals () in
   (* Attach the journal (if any) first: a header mismatch or an unwritable
@@ -513,6 +554,12 @@ let run ?(p1_percent = 1.0) ?(q_max = 5) ?(seed = 3) ?(sweep = true) ?(context_l
       hits_seen = 0;
       hits0 = 0;
       hits_restored = 0;
+      conf0 = 0;
+      dec0 = 0;
+      prop0 = 0;
+      conf_restored = 0;
+      dec_restored = 0;
+      prop_restored = 0;
       resumed_steps = 0;
       esc_retried = 0;
       esc_resolved = 0;
@@ -557,6 +604,9 @@ let run ?(p1_percent = 1.0) ?(q_max = 5) ?(seed = 3) ?(sweep = true) ?(context_l
           st.implements <- a.Checkpoint.implements;
           st.sat_queries <- a.Checkpoint.sat_queries;
           st.hits_restored <- a.Checkpoint.run_cache_hits;
+          st.conf_restored <- a.Checkpoint.run_conflicts;
+          st.dec_restored <- a.Checkpoint.run_decisions;
+          st.prop_restored <- a.Checkpoint.run_propagations;
           st.resumed_steps <- st.resumed_steps + 1;
           resume_q := a.Checkpoint.ev.Checkpoint.q;
           resume_phase := a.Checkpoint.ev.Checkpoint.phase;
@@ -571,7 +621,14 @@ let run ?(p1_percent = 1.0) ?(q_max = 5) ?(seed = 3) ?(sweep = true) ?(context_l
   let hits0 = cache_hits_so_far st in
   st.hits0 <- hits0;
   st.hits_seen <- hits0;
+  (* Likewise for solver effort: everything the baseline and the replay
+     spent stays off this run's books. *)
+  let conf0, dec0, prop0 = Dfm_sat.Solver.totals () in
+  st.conf0 <- conf0;
+  st.dec0 <- dec0;
+  st.prop0 <- prop0;
   for q = !resume_q to q_max do
+    Span.with_ "q-step" ~attrs:[ ("q", string_of_int q) ] @@ fun () ->
     (* Never re-enter phase 1 of a q whose phase 2 already accepted: phase 1
        ran to its fixpoint before phase 2 started, and the phase-2 accepts
        may have moved S_max back above its threshold.  The journaled p2 is
@@ -585,7 +642,9 @@ let run ?(p1_percent = 1.0) ?(q_max = 5) ?(seed = 3) ?(sweep = true) ?(context_l
     run_phase st ~q ~phase:2 ~p1:p1_percent ~p2
   done;
   Option.iter Checkpoint.close ckpt;
+  Progress.finish ();
   let pool_retried1, pool_fellback1 = Dfm_util.Parallel.supervision_totals () in
+  let run_conflicts, run_decisions, run_propagations = run_effort st in
   {
     initial;
     final = st.current;
@@ -594,6 +653,9 @@ let run ?(p1_percent = 1.0) ?(q_max = 5) ?(seed = 3) ?(sweep = true) ?(context_l
     implement_calls = st.implements;
     sat_queries = st.sat_queries;
     cache_hits = st.hits_restored + (cache_hits_so_far st - hits0);
+    conflicts = run_conflicts;
+    decisions = run_decisions;
+    propagations = run_propagations;
     elapsed_s = Unix.gettimeofday () -. t0;
     baseline_s;
     resumed_steps = st.resumed_steps;

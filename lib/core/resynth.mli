@@ -51,6 +51,14 @@ type result = {
           (implement calls and internal-only checks; the baseline run is
           excluded) — the quantity the verdict cache saves *)
   cache_hits : int;        (** verdict-cache hits of this run (0 uncached) *)
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+      (** solver effort of this run's SAT queries (baseline excluded),
+          attributed like [cache_hits]: deltas of the process-wide
+          {!Dfm_sat.Solver.totals}, restored across a checkpoint resume.
+          Counting is unconditional, so the numbers are independent of any
+          observability setting and of [--jobs] *)
   elapsed_s : float;
   baseline_s : float;      (** duration of one implement call (Rtime unit) *)
   resumed_steps : int;     (** accepted steps replayed from a checkpoint journal *)
@@ -83,6 +91,9 @@ val run :
   ?escalation:Dfm_atpg.Atpg.escalation_policy ->
   ?checkpoint:checkpoint_spec ->
   ?log:(string -> unit) ->
+  (* [?log] is deprecated: campaign messages now flow through
+     {!Dfm_obs.Log} (as [Info] records) unless this shim is given, in which
+     case it receives every message verbatim as before. *)
   Design.t ->
   result
 (** [sweep] (default true) lets Synthesize() SAT-sweep the extracted

@@ -1,5 +1,20 @@
 module H = Hash64
 
+(* Registry-level cache metrics, aggregated across every store instance.
+   The per-instance [stats] record below stays the source of truth for
+   caller-visible accounting; these feed the Prometheus exposition. *)
+let m_hits = Dfm_obs.Metrics.counter ~help:"Verdict-cache lookups that hit" "dfm_cache_hits_total"
+
+let m_misses =
+  Dfm_obs.Metrics.counter ~help:"Verdict-cache lookups that missed" "dfm_cache_misses_total"
+
+let m_evictions =
+  Dfm_obs.Metrics.counter ~help:"Verdict-cache FIFO evictions" "dfm_cache_evictions_total"
+
+let m_disk_bytes =
+  Dfm_obs.Metrics.counter ~help:"Bytes appended to the verdict-cache disk tier"
+    "dfm_cache_disk_bytes_total"
+
 type verdict = Detected | Undetectable
 
 type stats = {
@@ -130,13 +145,14 @@ let adopt t sg v =
     Queue.push sg t.order;
     if Hashtbl.length t.tbl > t.capacity then begin
       Hashtbl.remove t.tbl (Queue.pop t.order);
-      t.evictions <- t.evictions + 1
+      t.evictions <- t.evictions + 1;
+      Dfm_obs.Metrics.incr m_evictions
     end;
     true
   end
   else false
 
-let create ?(capacity = 1_000_000) ?path ?(log = fun _ -> ()) () =
+let create ?(capacity = 1_000_000) ?path ?(log = fun m -> Dfm_obs.Log.warn m) () =
   let t =
     {
       tbl = Hashtbl.create 4096;
@@ -180,9 +196,11 @@ let find t sg =
   match Hashtbl.find_opt t.tbl sg with
   | Some v ->
       t.hits <- t.hits + 1;
+      Dfm_obs.Metrics.incr m_hits;
       Some v
   | None ->
       t.misses <- t.misses + 1;
+      Dfm_obs.Metrics.incr m_misses;
       None
 
 (* One disk-tier append, with the [store.append] failpoint modeling every
@@ -207,7 +225,10 @@ let add t sg v =
     match t.chan with
     | None -> ()
     | Some oc -> (
-        try append_record oc (record_bytes sg v)
+        try
+          let b = record_bytes sg v in
+          append_record oc b;
+          Dfm_obs.Metrics.incr ~by:(Bytes.length b) m_disk_bytes
         with e -> disable_disk t (Printexc.to_string e))
   end
 

@@ -39,7 +39,8 @@ val create : ?capacity:int -> ?path:string -> ?log:(string -> unit) -> unit -> t
     [path] enables the disk tier; the file is created when absent and
     loaded best-effort when present.  An unreadable/unwritable path
     degrades to memory-only operation.  Recovery and degradation are
-    reported through [log] (default: silent) and the {!stats} counters. *)
+    reported through [log] (default: a [Dfm_obs.Log.warn] record, silent
+    until a log sink is installed) and the {!stats} counters. *)
 
 val find : t -> int64 -> verdict option
 (** Counts a hit or a miss. *)

@@ -1,0 +1,26 @@
+(* Wall clock, monotonized: [now_ns] never goes backwards even if the
+   system clock is stepped, because every read is clamped against the
+   largest value any domain has returned so far. *)
+
+let t0 = ref nan
+let t0_mutex = Mutex.create ()
+
+let origin () =
+  if Float.is_nan !t0 then begin
+    Mutex.lock t0_mutex;
+    if Float.is_nan !t0 then t0 := Unix.gettimeofday ();
+    Mutex.unlock t0_mutex
+  end;
+  !t0
+
+let last : int64 Atomic.t = Atomic.make 0L
+
+let rec clamp ns =
+  let prev = Atomic.get last in
+  if Int64.compare ns prev <= 0 then prev
+  else if Atomic.compare_and_set last prev ns then ns
+  else clamp ns
+
+let now_ns () =
+  let t = Unix.gettimeofday () -. origin () in
+  clamp (Int64.of_float (t *. 1e9))

@@ -1,0 +1,15 @@
+(** The observability clock: nanoseconds since process start, guaranteed
+    non-decreasing across every domain.
+
+    The underlying source is the wall clock, monotonized by clamping
+    against the last value any domain observed — good enough for span
+    timing and exporter timestamps, and crucially {e only} ever used for
+    those.  The result-transparency invariant of the whole subsystem
+    (DESIGN.md §8) forbids any timestamp from reaching state that is
+    hashed, cached, checkpointed or compared. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds since {!origin}, non-decreasing process-wide. *)
+
+val origin : unit -> float
+(** The [Unix.gettimeofday] instant the process first read the clock. *)

@@ -1,0 +1,30 @@
+(** Exporters: Chrome trace-event JSON (loadable in Perfetto /
+    [chrome://tracing]), Prometheus text exposition, and a compact JSON
+    metrics snapshot for the bench harness.
+
+    Exporting reads the span buffers and the metrics registry; it never
+    writes anything back, so emitting (or not emitting) these artifacts
+    cannot change a campaign result. *)
+
+val chrome_trace_string : Span.event list -> string
+(** [{"traceEvents":[...]}] with paired ["B"]/["E"] duration events,
+    timestamps in microseconds, [tid] = recording domain, [pid] = 1.
+    Within each tid the B/E stream is properly nested. *)
+
+val write_chrome_trace : string -> Span.event list -> unit
+(** [write_chrome_trace path events] — write atomically via a temp file
+    and rename. *)
+
+val prometheus_string : Metrics.metric list -> string
+(** Text exposition format: [# HELP]/[# TYPE] per family, histogram
+    [_bucket{le=...}]/[_sum]/[_count] series, no duplicate
+    metric/label pairs. *)
+
+val write_prometheus : string -> Metrics.metric list -> unit
+
+val metrics_json_string : Metrics.metric list -> string
+(** One JSON object [{"metrics":[...]}]; histograms summarized as
+    [count]/[sum].  Used by [bench] to embed a snapshot in its output. *)
+
+val json_escape : string -> string
+(** Escape a string for inclusion inside JSON double quotes. *)

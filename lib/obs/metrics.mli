@@ -1,0 +1,74 @@
+(** Process-wide metrics registry: counters, gauges, and histograms with
+    fixed log2 buckets.
+
+    Handles are registered once (first call wins; re-registering the same
+    name/label pair returns the same handle) and updated lock-free with
+    atomics, so hot paths — SAT inner loops, pool workers — can bump them
+    from any domain.  Instrumented libraries register their inventory at
+    module initialization, which keeps the exposition stable: a metric
+    family is present (at zero) even in runs that never touch it.
+
+    All values are integers; durations are recorded in nanoseconds.
+    Metrics are an output-only side channel: nothing reads them back into
+    engine decisions, so collection cannot change a campaign result. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : ?help:string -> ?labels:(string * string) list -> string -> counter
+(** Monotonically non-decreasing. *)
+
+val gauge : ?help:string -> ?labels:(string * string) list -> string -> gauge
+
+val histogram : ?help:string -> ?labels:(string * string) list -> string -> histogram
+(** Fixed buckets at powers of two: [le = 1, 2, 4, …, 2^39, +Inf]. *)
+
+val incr : ?by:int -> counter -> unit
+
+val counter_value : counter -> int
+
+val set : gauge -> int -> unit
+
+val add : gauge -> int -> unit
+
+val gauge_value : gauge -> int
+
+val observe : histogram -> int -> unit
+(** Record one (non-negative; clamped) sample. *)
+
+(** {1 Timing switch}
+
+    Duration histograms need two clock reads per sample; call sites guard
+    those with {!timing_enabled} so a run without exporters skips the
+    system calls entirely.  Plain counter/gauge bumps stay on always —
+    they are single atomic adds. *)
+
+val set_timing_enabled : bool -> unit
+val timing_enabled : unit -> bool
+
+(** {1 Snapshot (for exporters and tests)} *)
+
+type value =
+  | Counter of int
+  | Gauge of int
+  | Histogram of {
+      buckets : (float * int) array;  (** (le, cumulative count), +Inf last *)
+      sum : int;
+      count : int;
+    }
+
+type metric = {
+  name : string;
+  help : string;
+  labels : (string * string) list;
+  value : value;
+}
+
+val snapshot : unit -> metric list
+(** Every registered metric, sorted by name then labels. *)
+
+val find_value : ?labels:(string * string) list -> string -> value option
+
+val reset : unit -> unit
+(** Zero every registered metric (registrations survive) — test isolation. *)

@@ -1,0 +1,51 @@
+let enabled_flag = Atomic.make false
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+let output : (string -> unit) option ref = ref None
+let out_mutex = Mutex.create ()
+
+let set_output o =
+  Mutex.lock out_mutex;
+  output := o;
+  Mutex.unlock out_mutex
+
+let displayed = Atomic.make false
+
+let default_output line =
+  Printf.eprintf "\r%s\027[K%!" line;
+  Atomic.set displayed true
+
+let min_interval_ns = 100_000_000L (* 100 ms *)
+
+let last_ns = Atomic.make Int64.min_int
+
+let emit render =
+  let line = render () in
+  Mutex.lock out_mutex;
+  (match !output with
+  | Some f -> ( try f line with _ -> ())
+  | None -> default_output line);
+  Mutex.unlock out_mutex
+
+let update render =
+  if Atomic.get enabled_flag then begin
+    let now = Clock.now_ns () in
+    let prev = Atomic.get last_ns in
+    if
+      Int64.compare (Int64.sub now prev) min_interval_ns >= 0
+      && Atomic.compare_and_set last_ns prev now
+    then emit render
+  end
+
+let force render =
+  if Atomic.get enabled_flag then begin
+    Atomic.set last_ns (Clock.now_ns ());
+    emit render
+  end
+
+let finish () =
+  if Atomic.get displayed then begin
+    Printf.eprintf "\n%!";
+    Atomic.set displayed false
+  end

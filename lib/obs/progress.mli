@@ -1,0 +1,26 @@
+(** Live one-line TTY progress: a carriage-return-rewritten status line,
+    rate-limited so a tight campaign loop can call {!update} per accepted
+    event without flooding the terminal.
+
+    Disabled by default; when disabled {!update} returns without invoking
+    its thunk, so building the line costs nothing.  Output is a side
+    channel only — it never feeds back into the campaign. *)
+
+val set_enabled : bool -> unit
+
+val enabled : unit -> bool
+
+val set_output : (string -> unit) option -> unit
+(** Redirect the rendered line (tests); [None] restores the default
+    stderr [\r]-rewrite behaviour. *)
+
+val update : (unit -> string) -> unit
+(** Render and display the line if enabled and at least ~100 ms have
+    passed since the last display. *)
+
+val force : (unit -> string) -> unit
+(** Like {!update} but bypassing the rate limit (still gated on
+    {!enabled}). *)
+
+val finish : unit -> unit
+(** Terminate the progress line (newline) if anything was displayed. *)

@@ -1,0 +1,138 @@
+type event = {
+  name : string;
+  begin_ns : int64;
+  end_ns : int64;
+  begin_seq : int;
+  end_seq : int;
+  tid : int;
+  depth : int;
+  attrs : (string * string) list;
+}
+
+let enabled_flag = Atomic.make false
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+let max_events_per_domain = 1_000_000
+let dropped_total = Atomic.make 0
+let dropped () = Atomic.get dropped_total
+
+type open_span = {
+  o_name : string;
+  o_begin : int64;
+  o_seq : int;
+  o_depth : int;
+  mutable o_attrs : (string * string) list;
+}
+
+(* One of these per domain, reached through DLS on the hot path and through
+   the global registry at drain time.  The per-state mutex serializes the
+   owning domain's appends against a concurrent drain; it is uncontended in
+   steady state. *)
+type dstate = {
+  tid : int;
+  lock : Mutex.t;
+  mutable stack : open_span list;
+  mutable events : event list;  (* reverse chronological *)
+  mutable count : int;
+  mutable seq : int;
+      (* program-order tick, bumped at every span begin and end: the
+         wall clock is too coarse to order fast spans, the sequence
+         numbers always can *)
+}
+
+let states : dstate list ref = ref []
+let states_mutex = Mutex.create ()
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      let st =
+        {
+          tid = (Domain.self () :> int);
+          lock = Mutex.create ();
+          stack = [];
+          events = [];
+          count = 0;
+          seq = 0;
+        }
+      in
+      Mutex.lock states_mutex;
+      states := st :: !states;
+      Mutex.unlock states_mutex;
+      st)
+
+let push st name attrs =
+  let depth = match st.stack with [] -> 0 | o :: _ -> o.o_depth + 1 in
+  let seq = st.seq in
+  st.seq <- seq + 1;
+  st.stack <-
+    { o_name = name; o_begin = Clock.now_ns (); o_seq = seq; o_depth = depth;
+      o_attrs = attrs }
+    :: st.stack
+
+let pop st =
+  match st.stack with
+  | [] -> ()
+  | o :: rest ->
+      st.stack <- rest;
+      let end_seq = st.seq in
+      st.seq <- end_seq + 1;
+      let ev =
+        {
+          name = o.o_name;
+          begin_ns = o.o_begin;
+          end_ns = Clock.now_ns ();
+          begin_seq = o.o_seq;
+          end_seq;
+          tid = st.tid;
+          depth = o.o_depth;
+          attrs = List.rev o.o_attrs;
+        }
+      in
+      Mutex.lock st.lock;
+      if st.count < max_events_per_domain then begin
+        st.events <- ev :: st.events;
+        st.count <- st.count + 1
+      end
+      else ignore (Atomic.fetch_and_add dropped_total 1);
+      Mutex.unlock st.lock
+
+let with_ ?(attrs = []) name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let st = Domain.DLS.get key in
+    push st name attrs;
+    Fun.protect ~finally:(fun () -> pop st) f
+  end
+
+let note k v =
+  if Atomic.get enabled_flag then
+    let st = Domain.DLS.get key in
+    match st.stack with
+    | [] -> ()
+    | o :: _ -> o.o_attrs <- (k, v) :: o.o_attrs
+
+let drain () =
+  Mutex.lock states_mutex;
+  let sts = !states in
+  Mutex.unlock states_mutex;
+  let all =
+    List.concat_map
+      (fun st ->
+        Mutex.lock st.lock;
+        let evs = st.events in
+        st.events <- [];
+        st.count <- 0;
+        Mutex.unlock st.lock;
+        evs)
+      sts
+  in
+  List.sort
+    (fun a b ->
+      match Int64.compare a.begin_ns b.begin_ns with
+      | 0 -> (
+          match compare a.tid b.tid with 0 -> compare a.begin_seq b.begin_seq | c -> c)
+      | c -> c)
+    all
+
+let reset () = ignore (drain ())

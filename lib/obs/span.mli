@@ -1,0 +1,49 @@
+(** Hierarchical spans: named, timed regions recorded into per-domain
+    buffers and exported as Chrome trace events.
+
+    A span is opened and closed on the same domain; nesting follows the
+    call stack, so the begin/end events of one domain are always properly
+    bracketed ([with_] guarantees the close even on exceptions).  Each
+    domain appends to its own buffer — no cross-domain contention on the
+    hot path — and {!drain} merges the buffers for export.
+
+    Recording is off by default.  When off, {!with_} runs its thunk with
+    no clock reads and no allocation beyond the closure, preserving the
+    result-transparency invariant: spans observe the computation, never
+    steer it. *)
+
+type event = {
+  name : string;
+  begin_ns : int64;
+  end_ns : int64;
+  begin_seq : int;
+  end_seq : int;
+      (** per-domain program-order ticks at begin/end — the exporter
+          orders the B/E stream by these, because the clock is too coarse
+          to order fast spans (many begin and end on the same tick) *)
+  tid : int;  (** [Domain.self] of the recording domain *)
+  depth : int;  (** nesting depth on that domain at begin time, 0-based *)
+  attrs : (string * string) list;
+}
+
+val set_enabled : bool -> unit
+
+val enabled : unit -> bool
+
+val with_ : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_ name f] runs [f ()] inside a span named [name].  When
+    recording is disabled this is just [f ()]. *)
+
+val note : string -> string -> unit
+(** Attach a key/value attribute to the innermost open span on the
+    calling domain (no-op when disabled or outside any span). *)
+
+val drain : unit -> event list
+(** Completed events from every domain's buffer, ordered by [begin_ns]
+    (ties broken by tid, then [begin_seq]), and clear the buffers. *)
+
+val dropped : unit -> int
+(** Events discarded because a per-domain buffer hit its cap. *)
+
+val reset : unit -> unit
+(** Clear all buffers, open-span stacks are untouched — test isolation. *)

@@ -39,6 +39,8 @@ type t = {
   mutable qhead : int;
   mutable unsat : bool;
   mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
   mutable order_dirty : bool;
   mutable cla_inc : float;
   mutable n_learnts : int;
@@ -64,6 +66,8 @@ let create () =
     qhead = 0;
     unsat = false;
     conflicts = 0;
+    decisions = 0;
+    propagations = 0;
     order_dirty = true;
     cla_inc = 1.0;
     n_learnts = 0;
@@ -73,6 +77,34 @@ let create () =
 let num_vars s = s.nvars
 let num_clauses s = s.nclauses
 let num_conflicts s = s.conflicts
+let num_decisions s = s.decisions
+let num_propagations s = s.propagations
+
+(* Process-wide effort totals, accumulated across every solver instance in
+   every domain.  Per-solver counting uses plain mutable fields on the hot
+   path; the deltas are flushed here (and to the metrics registry) once per
+   [solve] call.  Counting is unconditional, so effort numbers are identical
+   whether or not any exporter is attached. *)
+let conflicts_total = Atomic.make 0
+let decisions_total = Atomic.make 0
+let propagations_total = Atomic.make 0
+
+let totals () =
+  (Atomic.get conflicts_total, Atomic.get decisions_total, Atomic.get propagations_total)
+
+let m_solves = Dfm_obs.Metrics.counter ~help:"SAT solve calls" "dfm_sat_solves_total"
+
+let m_conflicts =
+  Dfm_obs.Metrics.counter ~help:"CDCL conflicts across all solvers"
+    "dfm_sat_conflicts_total"
+
+let m_decisions =
+  Dfm_obs.Metrics.counter ~help:"CDCL decisions across all solvers"
+    "dfm_sat_decisions_total"
+
+let m_propagations =
+  Dfm_obs.Metrics.counter ~help:"Literals propagated across all solvers"
+    "dfm_sat_propagations_total"
 
 let grow_arrays s n =
   let old = Array.length s.assign in
@@ -149,6 +181,7 @@ let propagate s =
   while !conflict = None && s.qhead < s.trail_len do
     let l = s.trail.(s.qhead) in
     s.qhead <- s.qhead + 1;
+    s.propagations <- s.propagations + 1;
     let falsified = lit_neg l in
     let ws = s.watches.(falsified) in
     s.watches.(falsified) <- [];
@@ -205,7 +238,9 @@ let propagate s =
 
 let decision_level s = List.length s.trail_lim
 
-let new_decision_level s = s.trail_lim <- s.trail_len :: s.trail_lim
+let new_decision_level s =
+  s.decisions <- s.decisions + 1;
+  s.trail_lim <- s.trail_len :: s.trail_lim
 
 let backtrack s target_level =
   while decision_level s > target_level do
@@ -379,7 +414,7 @@ let rec luby i =
   if (1 lsl !k) - 1 = i then 1 lsl (!k - 1)
   else luby (i - (1 lsl (!k - 1)) + 1)
 
-let solve ?(assumptions = []) ?(max_conflicts = max_int) s =
+let solve_search ?(assumptions = []) ?(max_conflicts = max_int) s =
   if s.unsat then Unsat
   else begin
     List.iter (fun l -> ensure_vars s (abs l)) assumptions;
@@ -489,6 +524,30 @@ let solve ?(assumptions = []) ?(max_conflicts = max_int) s =
       !result
     end
   end
+
+let result_to_string = function Sat -> "sat" | Unsat -> "unsat" | Unknown -> "unknown"
+
+let solve ?assumptions ?max_conflicts s =
+  let c0 = s.conflicts and d0 = s.decisions and p0 = s.propagations in
+  let flush () =
+    let dc = s.conflicts - c0 and dd = s.decisions - d0 and dp = s.propagations - p0 in
+    ignore (Atomic.fetch_and_add conflicts_total dc);
+    ignore (Atomic.fetch_and_add decisions_total dd);
+    ignore (Atomic.fetch_and_add propagations_total dp);
+    Dfm_obs.Metrics.incr m_solves;
+    Dfm_obs.Metrics.incr ~by:dc m_conflicts;
+    Dfm_obs.Metrics.incr ~by:dd m_decisions;
+    Dfm_obs.Metrics.incr ~by:dp m_propagations
+  in
+  Dfm_obs.Span.with_ "sat.solve" (fun () ->
+      let r =
+        Fun.protect ~finally:flush (fun () -> solve_search ?assumptions ?max_conflicts s)
+      in
+      if Dfm_obs.Span.enabled () then begin
+        Dfm_obs.Span.note "result" (result_to_string r);
+        Dfm_obs.Span.note "conflicts" (string_of_int (s.conflicts - c0))
+      end;
+      r)
 
 let value s v =
   if v < 1 || v > s.nvars then invalid_arg "Solver.value";

@@ -42,4 +42,16 @@ val lit_value : t -> int -> bool
 (** Value of a literal in the last model. *)
 
 val num_clauses : t -> int
+
 val num_conflicts : t -> int
+val num_decisions : t -> int
+val num_propagations : t -> int
+(** Per-instance effort counters.  Counting is unconditional (it happens
+    whether or not observability is enabled), so effort numbers never
+    depend on instrumentation state. *)
+
+val totals : unit -> int * int * int
+(** Process-wide [(conflicts, decisions, propagations)] accumulated across
+    every solver instance in every domain, flushed once per {!solve}.
+    Deltas of these totals over a fixed query set are order-independent,
+    hence identical at any [--jobs] count. *)

@@ -1,3 +1,37 @@
+(* Pool metrics.  Registered at module initialization so the exposition
+   always carries the pool family; updates are single atomic adds, and the
+   latency histogram's two clock reads are gated on the timing switch. *)
+let m_tasks = Dfm_obs.Metrics.counter ~help:"Pool tasks executed" "dfm_pool_tasks_total"
+
+let m_queue_depth =
+  Dfm_obs.Metrics.gauge ~help:"Unclaimed tasks in the in-flight pool batch"
+    "dfm_pool_queue_depth"
+
+let m_task_latency =
+  Dfm_obs.Metrics.histogram ~help:"Pool task run time in nanoseconds"
+    "dfm_pool_task_latency_ns"
+
+let m_retries =
+  Dfm_obs.Metrics.counter ~help:"Supervised pool tasks retried in place"
+    "dfm_pool_task_retries_total"
+
+let m_fallbacks =
+  Dfm_obs.Metrics.counter
+    ~help:"Supervised pool tasks re-run sequentially in the coordinator"
+    "dfm_pool_task_fallbacks_total"
+
+let run_task_measured task =
+  Dfm_obs.Metrics.incr m_tasks;
+  if Dfm_obs.Metrics.timing_enabled () then begin
+    let t0 = Dfm_obs.Clock.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        Dfm_obs.Metrics.observe m_task_latency
+          (Int64.to_int (Int64.sub (Dfm_obs.Clock.now_ns ()) t0)))
+      task
+  end
+  else task ()
+
 type t = {
   jobs : int;
   mutex : Mutex.t;
@@ -23,8 +57,9 @@ let drain t =
       let i = t.next in
       t.next <- i + 1;
       let task = t.batch.(i) in
+      Dfm_obs.Metrics.set m_queue_depth (Array.length t.batch - t.next);
       Mutex.unlock t.mutex;
-      let failed = try task (); None with e -> Some e in
+      let failed = try run_task_measured task; None with e -> Some e in
       Mutex.lock t.mutex;
       (match failed with
       | Some e when t.failure = None -> t.failure <- Some e
@@ -99,7 +134,7 @@ let stopped t =
   Mutex.unlock t.mutex;
   s
 
-let run_sequential tasks = Array.iter (fun task -> task ()) tasks
+let run_sequential tasks = Array.iter run_task_measured tasks
 
 let run_tasks t tasks =
   let n = Array.length tasks in
@@ -170,6 +205,7 @@ let run_tasks_supervised ?(retries = 2) t tasks =
         | exception _ when k < retries ->
             Atomic.incr retried;
             Atomic.incr retried_total;
+            Dfm_obs.Metrics.incr m_retries;
             go (k + 1)
         | exception _ -> failed.(i) <- true
       in
@@ -185,6 +221,7 @@ let run_tasks_supervised ?(retries = 2) t tasks =
         if f then begin
           incr fell_back;
           Atomic.incr fallback_total;
+          Dfm_obs.Metrics.incr m_fallbacks;
           attempt tasks.(i)
         end)
       failed;

@@ -1,0 +1,303 @@
+(* Validator for the observability artifacts a campaign writes with
+   [--trace] and [--metrics]:
+
+     obs_validate TRACE.json METRICS.prom [MIN_DEPTH]
+
+   - the trace must parse as Chrome trace-event JSON ({"traceEvents":[...]})
+     and, per tid, form a properly nested B/E stream (every E closes the
+     most recent open B of the same name; nothing left open at the end);
+   - the deepest nesting across all tids must reach MIN_DEPTH (default 5)
+     span levels — the campaign hierarchy campaign > q-step > phase >
+     candidate > implement > classify is visible, not flattened;
+   - the Prometheus exposition must have no duplicate metric/label series,
+     at most one # TYPE per family, and must contain the SAT, cache, pool
+     and checkpoint metric families.
+
+   Exit 0 when everything holds, exit 1 with a one-line reason otherwise.
+   The JSON parser is a small recursive-descent reader (the toolchain has
+   no JSON library); it accepts exactly the subset the exporter emits plus
+   ordinary whitespace. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then (pos := !pos + l; v)
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' -> (
+          if !pos >= n then fail "unterminated escape";
+          let e = s.[!pos] in
+          advance ();
+          match e with
+          | '"' -> Buffer.add_char buf '"'; loop ()
+          | '\\' -> Buffer.add_char buf '\\'; loop ()
+          | '/' -> Buffer.add_char buf '/'; loop ()
+          | 'n' -> Buffer.add_char buf '\n'; loop ()
+          | 'r' -> Buffer.add_char buf '\r'; loop ()
+          | 't' -> Buffer.add_char buf '\t'; loop ()
+          | 'b' -> Buffer.add_char buf '\b'; loop ()
+          | 'f' -> Buffer.add_char buf '\012'; loop ()
+          | 'u' ->
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let hex = String.sub s !pos 4 in
+              pos := !pos + 4;
+              let code =
+                try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+              in
+              (* the exporter only emits \u00XX control escapes; encode the
+                 code point as UTF-8 for anything else so parsing stays total *)
+              if code < 0x80 then Buffer.add_char buf (Char.chr code)
+              else if code < 0x800 then begin
+                Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+              end
+              else begin
+                Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+              end;
+              loop ()
+          | _ -> fail "unknown escape")
+      | c -> Buffer.add_char buf c; loop ()
+    in
+    loop ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (advance (); Obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ((k, v) :: acc)
+            | Some '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (advance (); Arr [])
+        else
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elements (v :: acc)
+            | Some ']' -> advance (); Arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements []
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("obs_validate: " ^ msg); exit 1) fmt
+
+(* --- trace checks ------------------------------------------------------- *)
+
+let field name = function
+  | Obj kvs -> List.assoc_opt name kvs
+  | _ -> None
+
+let validate_trace path min_depth =
+  let doc =
+    try parse_json (read_file path)
+    with Parse_error m -> die "%s: trace does not parse as JSON (%s)" path m
+  in
+  let events =
+    match field "traceEvents" doc with
+    | Some (Arr l) -> l
+    | _ -> die "%s: no \"traceEvents\" array" path
+  in
+  if events = [] then die "%s: empty trace" path;
+  (* per-tid stack discipline *)
+  let stacks : (int, string list ref) Hashtbl.t = Hashtbl.create 8 in
+  let stack_of tid =
+    match Hashtbl.find_opt stacks tid with
+    | Some st -> st
+    | None ->
+        let st = ref [] in
+        Hashtbl.add stacks tid st;
+        st
+  in
+  let max_depth = ref 0 in
+  let last_ts : (int, float) Hashtbl.t = Hashtbl.create 8 in
+  List.iteri
+    (fun i ev ->
+      let str k =
+        match field k ev with Some (Str s) -> s | _ -> die "%s: event %d: missing \"%s\"" path i k
+      in
+      let num k =
+        match field k ev with Some (Num f) -> f | _ -> die "%s: event %d: missing \"%s\"" path i k
+      in
+      let name = str "name" and ph = str "ph" in
+      let ts = num "ts" and tid = int_of_float (num "tid") in
+      ignore (num "pid");
+      (match Hashtbl.find_opt last_ts tid with
+      | Some prev when ts < prev ->
+          die "%s: event %d: timestamps go backwards within tid %d" path i tid
+      | _ -> Hashtbl.replace last_ts tid ts);
+      let st = stack_of tid in
+      match ph with
+      | "B" ->
+          st := name :: !st;
+          max_depth := max !max_depth (List.length !st)
+      | "E" -> (
+          match !st with
+          | top :: rest ->
+              if top <> name then
+                die "%s: event %d: E \"%s\" closes open span \"%s\" (tid %d)" path i name top
+                  tid;
+              st := rest
+          | [] -> die "%s: event %d: E \"%s\" with no open span on tid %d" path i name tid)
+      | ph -> die "%s: event %d: unexpected phase %S" path i ph)
+    events;
+  Hashtbl.iter
+    (fun tid st ->
+      if !st <> [] then
+        die "%s: tid %d ends with %d unclosed span(s): %s" path tid (List.length !st)
+          (String.concat " > " (List.rev !st)))
+    stacks;
+  if !max_depth < min_depth then
+    die "%s: deepest nesting is %d span level(s), need >= %d" path !max_depth min_depth;
+  Printf.printf "trace ok: %d events, max depth %d\n" (List.length events) !max_depth
+
+(* --- prometheus checks --------------------------------------------------- *)
+
+let validate_prometheus path =
+  let content = read_file path in
+  let lines = String.split_on_char '\n' content in
+  let series = Hashtbl.create 256 in
+  let types = Hashtbl.create 64 in
+  List.iteri
+    (fun i line ->
+      if line <> "" then
+        if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+          let rest = String.sub line 7 (String.length line - 7) in
+          let fam =
+            match String.index_opt rest ' ' with
+            | Some j -> String.sub rest 0 j
+            | None -> die "%s: line %d: malformed # TYPE" path (i + 1)
+          in
+          if Hashtbl.mem types fam then
+            die "%s: line %d: duplicate # TYPE for family %s" path (i + 1) fam;
+          Hashtbl.add types fam ()
+        end
+        else if line.[0] = '#' then ()
+        else begin
+          (* sample line: <name>[{labels}] <value> — the series key is
+             everything before the value *)
+          let key =
+            match String.rindex_opt line ' ' with
+            | Some j -> String.sub line 0 j
+            | None -> die "%s: line %d: malformed sample line" path (i + 1)
+          in
+          if Hashtbl.mem series key then
+            die "%s: line %d: duplicate series %s" path (i + 1) key;
+          Hashtbl.add series key ()
+        end)
+    lines;
+  let has_family prefix =
+    Hashtbl.fold
+      (fun fam () acc ->
+        acc
+        || String.length fam >= String.length prefix
+           && String.sub fam 0 (String.length prefix) = prefix)
+      types false
+  in
+  List.iter
+    (fun prefix ->
+      if not (has_family prefix) then die "%s: missing metric family %s*" path prefix)
+    [ "dfm_sat_"; "dfm_cache_"; "dfm_pool_"; "dfm_checkpoint_" ];
+  Printf.printf "metrics ok: %d series, %d families\n" (Hashtbl.length series)
+    (Hashtbl.length types)
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; trace; metrics ] ->
+      validate_trace trace 5;
+      validate_prometheus metrics
+  | [ _; trace; metrics; min_depth ] ->
+      let d =
+        match int_of_string_opt min_depth with
+        | Some d -> d
+        | None -> die "MIN_DEPTH must be an integer, got %S" min_depth
+      in
+      validate_trace trace d;
+      validate_prometheus metrics
+  | _ -> die "usage: obs_validate TRACE.json METRICS.prom [MIN_DEPTH]"

@@ -42,6 +42,9 @@ let acc i =
     implements = 2 * i;
     sat_queries = 30 * i;
     run_cache_hits = i;
+    run_conflicts = 5 * i;
+    run_decisions = 7 * i;
+    run_propagations = 11 * i;
     p2 = 1.5;
   }
 

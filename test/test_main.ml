@@ -23,4 +23,5 @@ let () =
       ("circuits", Test_circuits.suite);
       ("resynth", Test_resynth.suite);
       ("checkpoint", Test_checkpoint.suite);
+      ("obs", Test_obs.suite);
     ]
