@@ -4,6 +4,7 @@
      list                      enumerate the benchmark blocks
      analyze  CIRCUIT          implement and report fault/cluster metrics
      resynth  CIRCUIT          run the two-phase resynthesis (Section III)
+     lint     CIRCUIT          structural + dataflow lint, CI exit codes
      ablate   CIRCUIT          the Section IV restricted-library experiment
      dump     CIRCUIT          write the generated netlist in text format
      cells                     show the library with internal fault counts *)
@@ -15,6 +16,7 @@ module Resynth = Dfm_core.Resynth
 module Report = Dfm_core.Report
 module Circuits = Dfm_circuits.Circuits
 module N = Dfm_netlist.Netlist
+module Lint = Dfm_lint.Lint
 
 let scale_arg =
   let doc = "Scale factor for the generated blocks (default \\$REPRO_SCALE or 1.0)." in
@@ -291,9 +293,17 @@ let cells_cmd =
 
 (* ---- analyze ---- *)
 
+let static_filter_arg =
+  let doc =
+    "Run the sound dataflow analysis of the lint engine before ATPG and skip random \
+     simulation and SAT for faults it proves Undetectable.  Verdicts are bit-identical \
+     with or without the filter; only the number of SAT queries changes."
+  in
+  Arg.(value & flag & info [ "static-filter" ] ~doc)
+
 let analyze_cmd =
-  let run name scale jobs cache_dir expect_hits max_conflicts failpoints trace metrics
-      log_level progress =
+  let run name scale jobs cache_dir expect_hits max_conflicts static_filter failpoints trace
+      metrics log_level progress =
     apply_jobs jobs;
     apply_failpoints failpoints;
     let obs = apply_obs trace metrics log_level progress in
@@ -302,8 +312,13 @@ let analyze_cmd =
       (Dfm_util.Parallel.default_jobs ());
     let cache = make_cache cache_dir in
     let d =
-      Design.implement ?cache ?max_conflicts ?escalation:(escalation_of max_conflicts) nl
+      Design.implement ?cache ?max_conflicts ?escalation:(escalation_of max_conflicts)
+        ~static_filter nl
     in
+    if static_filter then
+      Fmt.pr "static filter: %d fault(s) proven Undetectable before SAT@."
+        (Dfm_obs.Metrics.counter_value
+           (Dfm_obs.Metrics.counter "dfm_atpg_static_filtered_total"));
     (match d.Design.escalation with
     | Some es ->
         Fmt.pr "escalation: %d retries over %d rungs resolved %d abort(s), %d residual@."
@@ -326,8 +341,93 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc:"Implement a block and report its fault clustering.")
     Term.(
       const run $ circuit_arg $ scale_arg $ jobs_arg $ cache_dir_arg $ expect_hits_arg
-      $ max_conflicts_arg $ failpoint_arg $ trace_arg $ metrics_arg $ log_level_arg
-      $ progress_arg)
+      $ max_conflicts_arg $ static_filter_arg $ failpoint_arg $ trace_arg $ metrics_arg
+      $ log_level_arg $ progress_arg)
+
+(* ---- lint ---- *)
+
+let lint_cmd =
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.") in
+  let baseline_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Suppress findings listed in $(docv) (one $(b,RULE kind:name) entry per line, \
+             $(b,#) comments allowed).")
+  in
+  let write_baseline =
+    Arg.(
+      value & flag
+      & info [ "write-baseline" ]
+          ~doc:
+            "Write every current finding to the $(b,--baseline) file (accepting the current \
+             state) and exit 0.")
+  in
+  let strict =
+    Arg.(value & flag & info [ "strict" ] ~doc:"Fail on warnings too, not only on errors.")
+  in
+  let fanout_limit =
+    Arg.(
+      value
+      & opt int Lint.default_config.Lint.fanout_limit
+      & info [ "fanout-limit" ] ~docv:"N" ~doc:"Fanout threshold for rule L009.")
+  in
+  let run name scale json baseline write_baseline strict fanout_limit =
+    if fanout_limit < 1 then begin
+      Fmt.epr "dfm_resynth: --fanout-limit must be at least 1 (got %d)@." fanout_limit;
+      exit 2
+    end;
+    let nl = build ?scale name in
+    let config = { Lint.default_config with Lint.fanout_limit } in
+    let report = Lint.check ~config nl in
+    if write_baseline then begin
+      match baseline with
+      | None ->
+          Fmt.epr "dfm_resynth: --write-baseline requires --baseline@.";
+          exit 2
+      | Some path ->
+          let oc = open_out path in
+          output_string oc (Lint.baseline_of_report report);
+          close_out oc;
+          Fmt.pr "wrote %d baseline entr%s to %s@."
+            (List.length report.Lint.findings)
+            (if List.length report.Lint.findings = 1 then "y" else "ies")
+            path
+    end
+    else begin
+      let base =
+        match baseline with
+        | None -> Lint.empty_baseline
+        | Some path -> (
+            try Lint.load_baseline path
+            with Sys_error e | Failure e ->
+              Fmt.epr "dfm_resynth: --baseline %s: %s@." path e;
+              exit 2)
+      in
+      let kept, suppressed = Lint.suppress base report in
+      if json then print_string (Lint.to_json kept)
+      else begin
+        Format.printf "%a" Lint.pp_text kept;
+        if suppressed <> [] then
+          Fmt.pr "(%d finding(s) suppressed by the baseline)@." (List.length suppressed)
+      end;
+      let fails =
+        Lint.errors kept <> [] || (strict && Lint.warnings kept <> [])
+      in
+      exit (if fails then 1 else 0)
+    end
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Check a block (or netlist file) against the structural and dataflow lint rules.  \
+          Exits 0 when no unsuppressed error (with --strict: or warning) remains, 1 \
+          otherwise — CI-friendly.")
+    Term.(
+      const run $ circuit_arg $ scale_arg $ json $ baseline_arg $ write_baseline $ strict
+      $ fanout_limit)
 
 (* ---- resynth ---- *)
 
@@ -491,5 +591,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; cells_cmd; analyze_cmd; resynth_cmd; ablate_cmd; paths_cmd; verilog_cmd;
-            dump_cmd ]))
+          [ list_cmd; cells_cmd; analyze_cmd; resynth_cmd; lint_cmd; ablate_cmd; paths_cmd;
+            verilog_cmd; dump_cmd ]))

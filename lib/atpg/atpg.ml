@@ -1,4 +1,3 @@
-module N = Dfm_netlist.Netlist
 module F = Dfm_faults.Fault
 module Ls = Dfm_sim.Logic_sim
 module Fs = Dfm_sim.Fault_sim
@@ -23,6 +22,10 @@ let m_esc_resolved =
 let m_classified =
   Metrics.counter ~help:"Faults classified (including cache hits)"
     "dfm_atpg_faults_classified_total"
+
+let m_static_filtered =
+  Metrics.counter ~help:"Faults proven Undetectable by the static pre-SAT filter"
+    "dfm_atpg_static_filtered_total"
 
 type status = Detected | Undetectable | Aborted
 
@@ -153,7 +156,8 @@ let finish_counts s =
    bit-identical to the sequential ([jobs = 1]) run for any job count. *)
 let shard_bounds ~jobs nf = Parallel.chunk_bounds ~chunk:((nf + jobs - 1) / jobs) nf
 
-let classify ?(seed = 1) ?max_conflicts ?(random_blocks = 16) ?jobs ?cache nl faults =
+let classify ?(seed = 1) ?max_conflicts ?(random_blocks = 16) ?jobs ?cache ?static_filter
+    nl faults =
   Span.with_ "atpg.classify"
     ~attrs:[ ("faults", string_of_int (Array.length faults)) ]
   @@ fun () ->
@@ -164,6 +168,25 @@ let classify ?(seed = 1) ?max_conflicts ?(random_blocks = 16) ?jobs ?cache nl fa
     max 1 (min j (max 1 nf))
   in
   let s = make_state nl faults in
+  (* Static pre-SAT filter: faults the sound dataflow analysis proves
+     Undetectable are decided here, in the coordinating domain, before the
+     cache, the random-simulation prefilter and the SAT phase ever see
+     them.  The filter is an under-approximation of the SAT queries'
+     UNSAT outcomes, so this can only skip work, never change a verdict;
+     the decided faults are published to the cache below like any other
+     freshly derived verdict. *)
+  (match static_filter with
+  | None -> ()
+  | Some prove ->
+      let n = ref 0 in
+      Array.iteri
+        (fun fid f ->
+          if prove f then begin
+            s.st.(fid) <- 2;
+            incr n
+          end)
+        faults;
+      Metrics.incr ~by:!n m_static_filtered);
   (* Cache consultation happens here in the coordinating domain, before any
      worker is spawned, so the sharded phases see exactly the same disjoint
      per-fault work in every configuration and the jobs=N bit-identity
@@ -178,14 +201,15 @@ let classify ?(seed = 1) ?max_conflicts ?(random_blocks = 16) ?jobs ?cache nl fa
         let sigs = Dfm_incr.Cache.signatures c ?max_conflicts nl faults in
         Array.iteri
           (fun fid sg ->
-            match Dfm_incr.Cache.find c sg with
-            | Some Dfm_incr.Store.Detected ->
-                cached.(fid) <- true;
-                s.st.(fid) <- 1
-            | Some Dfm_incr.Store.Undetectable ->
-                cached.(fid) <- true;
-                s.st.(fid) <- 2
-            | None -> ())
+            if s.st.(fid) = 0 then
+              match Dfm_incr.Cache.find c sg with
+              | Some Dfm_incr.Store.Detected ->
+                  cached.(fid) <- true;
+                  s.st.(fid) <- 1
+              | Some Dfm_incr.Store.Undetectable ->
+                  cached.(fid) <- true;
+                  s.st.(fid) <- 2
+              | None -> ())
           sigs;
         sigs
   in

@@ -50,6 +50,7 @@ val classify :
   ?random_blocks:int ->
   ?jobs:int ->
   ?cache:Dfm_incr.Cache.t ->
+  ?static_filter:(Dfm_faults.Fault.t -> bool) ->
   Dfm_netlist.Netlist.t ->
   Dfm_faults.Fault.t array ->
   classification
@@ -75,7 +76,18 @@ val classify :
     information, never a contradicting verdict.  At the default unbounded
     budget no Aborted verdicts exist and the identity is exact.)  All cache
     traffic happens in the coordinating domain, so the [jobs] bit-identity
-    above is preserved verbatim. *)
+    above is preserved verbatim.
+
+    [static_filter] is a sound static undetectability proof (in practice
+    {!Dfm_lint.Dataflow.prove_undetectable} of the same netlist): faults it
+    returns [true] for are marked Undetectable up front and skip the cache
+    lookup, the random-simulation prefilter and the SAT phase — shrinking
+    [sat_queries].  Soundness contract: the filter may only accept faults
+    whose SAT detection query is unsatisfiable, so the classification
+    (statuses and every count except [sat_queries]) is bit-identical to the
+    unfiltered run; this is qcheck-enforced by the lint test suite.  The
+    filter runs in the coordinating domain before any sharding, and its
+    verdicts are published to [cache] like freshly derived ones. *)
 
 type escalation_policy = {
   factor : int;  (** budget multiplier per rung, clamped to >= 2 *)

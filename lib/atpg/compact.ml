@@ -1,4 +1,3 @@
-module N = Dfm_netlist.Netlist
 module F = Dfm_faults.Fault
 module Ls = Dfm_sim.Logic_sim
 module Fs = Dfm_sim.Fault_sim

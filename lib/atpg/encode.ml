@@ -3,7 +3,6 @@ module Cell = Dfm_netlist.Cell
 module F = Dfm_faults.Fault
 module Solver = Dfm_sat.Solver
 module Tseitin = Dfm_sat.Tseitin
-module Tt = Dfm_logic.Truthtable
 
 type test = { values : bool array; cared : bool array }
 

@@ -1,5 +1,4 @@
 module M = Motifs
-module Rng = Dfm_util.Rng
 
 let default_scale () =
   match Sys.getenv_opt "REPRO_SCALE" with

@@ -31,7 +31,7 @@ type entry = Header of string | Event of event | Accept of accept
 
 exception Error of string
 
-type t = { path : string; mutable chan : out_channel option }
+type t = { mutable chan : out_channel option }
 
 (* v2 added the run-attributed solver-effort counters to [accept].  The
    bump makes v1 journals fail the magic check, so [attach] restarts them
@@ -135,7 +135,7 @@ let open_append path =
 let attach ?(resume = true) ~header path =
   let fresh () =
     write_all path [ Header header ];
-    ({ path; chan = Some (open_append path) }, [])
+    ({ chan = Some (open_append path) }, [])
   in
   if (not resume) || not (Sys.file_exists path) then fresh ()
   else begin
@@ -150,7 +150,7 @@ let attach ?(resume = true) ~header path =
         let kept = truncate_to_last_accept rest in
         if rewrite || List.length kept <> List.length rest then
           write_all path (Header header :: kept);
-        ({ path; chan = Some (open_append path) }, kept)
+        ({ chan = Some (open_append path) }, kept)
     | _ ->
         (* empty or headerless journal: nothing usable, start fresh *)
         fresh ()

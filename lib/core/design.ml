@@ -1,5 +1,4 @@
 module N = Dfm_netlist.Netlist
-module F = Dfm_faults.Fault
 module Atpg = Dfm_atpg.Atpg
 
 type t = {
@@ -36,7 +35,7 @@ type metrics = {
 let undetectable t fid = t.classification.Atpg.status.(fid) = Atpg.Undetectable
 
 let implement ?(seed = 3) ?floorplan ?utilization ?previous ?jobs ?cache ?max_conflicts
-    ?escalation netlist =
+    ?escalation ?(static_filter = false) netlist =
   Dfm_obs.Span.with_ "implement"
     ~attrs:[ ("gates", string_of_int (N.num_gates netlist)) ]
   @@ fun () ->
@@ -51,8 +50,14 @@ let implement ?(seed = 3) ?floorplan ?utilization ?previous ?jobs ?cache ?max_co
   let timing = Dfm_timing.Sta.analyze routing in
   let power = Dfm_timing.Power.analyze ~seed routing in
   let fault_list = Dfm_guidelines.Translate.build routing in
+  let static =
+    if static_filter then
+      let df = Dfm_lint.Dataflow.analyze netlist in
+      Some (Dfm_lint.Dataflow.prove_undetectable df)
+    else None
+  in
   let classification =
-    Atpg.classify ~seed ?jobs ?cache ?max_conflicts netlist
+    Atpg.classify ~seed ?jobs ?cache ?max_conflicts ?static_filter:static netlist
       fault_list.Dfm_guidelines.Translate.faults
   in
   (* With a bounded budget, aborts are escalated before clustering so the

@@ -47,6 +47,7 @@ val implement :
   ?cache:Dfm_incr.Cache.t ->
   ?max_conflicts:int ->
   ?escalation:Dfm_atpg.Atpg.escalation_policy ->
+  ?static_filter:bool ->
   Dfm_netlist.Netlist.t ->
   t
 (** Run the whole pipeline.  [max_conflicts] bounds each classification SAT
@@ -61,7 +62,11 @@ val implement :
     (see {!Dfm_atpg.Atpg.classify}); the result is bit-identical for every
     value.  [cache] is handed to the classification so verdicts of
     structurally unchanged fault cones are reused instead of re-derived;
-    it too never changes a verdict (see {!Dfm_incr.Cache}). *)
+    it too never changes a verdict (see {!Dfm_incr.Cache}).
+    [static_filter] (default off) runs {!Dfm_lint.Dataflow} over the
+    netlist and hands its sound undetectability proof to the
+    classification, skipping random simulation and SAT for statically
+    proven faults — again without changing any verdict. *)
 
 val metrics : t -> metrics
 

@@ -3,7 +3,6 @@ module Cell = Dfm_netlist.Cell
 module Library = Dfm_netlist.Library
 module F = Dfm_faults.Fault
 module Atpg = Dfm_atpg.Atpg
-module Udfm = Dfm_cellmodel.Udfm
 
 type table1_row = {
   t1_circuit : string;

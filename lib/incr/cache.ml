@@ -1,5 +1,3 @@
-module N = Dfm_netlist.Netlist
-module F = Dfm_faults.Fault
 
 type t = {
   store : Store.t;

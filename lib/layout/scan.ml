@@ -1,5 +1,4 @@
 module N = Dfm_netlist.Netlist
-module Cell = Dfm_netlist.Cell
 
 type t = {
   order : int list;

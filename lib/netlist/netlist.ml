@@ -257,7 +257,14 @@ module Builder = struct
   let nth_net b nid = List.nth b.b_nets (b.b_nnets - 1 - nid)
 
   let add_gate_driving b ?name ~cell fanins out =
-    let c = Library.find b.b_lib cell in
+    let c =
+      match Library.find_opt b.b_lib cell with
+      | Some c -> c
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Builder.add_gate: unknown cell %s in netlist %s" cell
+               b.b_name)
+    in
     if Array.length fanins <> Cell.arity c then
       invalid_arg (Printf.sprintf "Builder.add_gate %s: expected %d pins, got %d"
                      cell (Cell.arity c) (Array.length fanins));

@@ -56,8 +56,8 @@ module Builder : sig
   val add_gate : b -> ?name:string -> cell:string -> int array -> int
   (** [add_gate b ~cell fanins] instantiates library cell [cell] with the
       given fanin nets (pin order) and returns the id of the net it drives.
-      @raise Not_found if the cell is not in the library.
-      @raise Invalid_argument on a pin-count mismatch. *)
+      @raise Invalid_argument if the cell is not in the library (the message
+      names the cell and the netlist) or on a pin-count mismatch. *)
 
   val declare_net : b -> string -> int
   (** A net whose driver will be supplied later with {!add_gate_driving}.

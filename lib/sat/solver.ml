@@ -41,7 +41,6 @@ type t = {
   mutable conflicts : int;
   mutable decisions : int;
   mutable propagations : int;
-  mutable order_dirty : bool;
   mutable cla_inc : float;
   mutable n_learnts : int;
   mutable max_learnts : int;
@@ -68,7 +67,6 @@ let create () =
     conflicts = 0;
     decisions = 0;
     propagations = 0;
-    order_dirty = true;
     cla_inc = 1.0;
     n_learnts = 0;
     max_learnts = 4000;
@@ -256,8 +254,7 @@ let backtrack s target_level =
         s.trail_lim <- rest
   done;
   s.qhead <- min s.qhead s.trail_len;
-  s.qhead <- s.trail_len;
-  s.order_dirty <- true
+  s.qhead <- s.trail_len
 
 (* First-UIP conflict analysis.  Returns (learned clause lits with the
    asserting literal first, backtrack level). *)

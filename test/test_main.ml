@@ -11,6 +11,7 @@ let () =
       ("sat", Test_sat.suite);
       ("netlist", Test_netlist.suite);
       ("cellmodel", Test_cellmodel.suite);
+      ("lint", Test_lint.suite);
       ("sim", Test_sim.suite);
       ("atpg", Test_atpg.suite);
       ("incr", Test_incr.suite);

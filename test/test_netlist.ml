@@ -132,6 +132,56 @@ let test_io_roundtrip () =
   | Equiv.Equivalent -> ()
   | _ -> Alcotest.fail "const round-trip not equivalent"
 
+(* Degenerate shapes must survive the text format unchanged: no gates at
+   all, a single gate, gates fed only by constants, and one net feeding
+   several pins of the same sink gate. *)
+let test_io_degenerate_roundtrips () =
+  let roundtrip label t =
+    let t' = Io.read ~library:lib (Io.to_string t) in
+    Alcotest.(check int) (label ^ " gates") (N.num_gates t) (N.num_gates t');
+    Alcotest.(check int) (label ^ " nets") (N.num_nets t) (N.num_nets t');
+    Alcotest.(check int) (label ^ " pos") (Array.length t.N.pos) (Array.length t'.N.pos);
+    if N.num_gates t > 0 then
+      match Equiv.check t t' with
+      | Equiv.Equivalent -> ()
+      | _ -> Alcotest.fail (label ^ " not equivalent")
+  in
+  (* Empty: a PI wired straight to a PO, no gates. *)
+  let b = B.create ~name:"empty" lib in
+  let a = B.add_pi b "a" in
+  B.mark_po b "y" a;
+  roundtrip "empty" (B.finish b);
+  (* Single gate. *)
+  let b = B.create ~name:"single" lib in
+  let a = B.add_pi b "a" in
+  B.mark_po b "y" (B.add_gate b ~cell:"INVX1" [| a |]);
+  roundtrip "single" (B.finish b);
+  (* Const-only drivers: every gate input is a constant net. *)
+  let b = B.create ~name:"constonly" lib in
+  let k0 = B.const_net b false in
+  let k1 = B.const_net b true in
+  B.mark_po b "y" (B.add_gate b ~cell:"NAND2X1" [| k0; k1 |]);
+  roundtrip "const-only" (B.finish b);
+  (* One net into multiple pins of the same sink gate. *)
+  let b = B.create ~name:"dup" lib in
+  let a = B.add_pi b "a" in
+  let x = B.add_gate b ~cell:"INVX1" [| a |] in
+  B.mark_po b "y" (B.add_gate b ~cell:"MUX2X1" [| x; x; x |]);
+  let t = B.finish b in
+  roundtrip "dup-sink" t;
+  (* The duplicate sink entries themselves must survive. *)
+  let t' = Io.read ~library:lib (Io.to_string t) in
+  let inv =
+    List.find (fun (g : N.gate) -> g.N.cell.Cell.name = "INVX1") (Array.to_list t'.N.gates)
+  in
+  Alcotest.(check int) "dup-sink pin entries" 3
+    (List.length (N.net t' inv.N.fanout).N.sinks);
+  (* None of these shapes is a lint error. *)
+  List.iter
+    (fun nl -> Alcotest.(check (list string)) "no lint errors" []
+        (List.map (fun f -> f.Dfm_lint.Lint.rule) (Dfm_lint.Lint.errors (Dfm_lint.Lint.check nl))))
+    [ t; t' ]
+
 let test_io_errors () =
   (try
      ignore (Io.read ~library:lib "gate NAND2X1 g0 y a b\n");
@@ -295,6 +345,7 @@ let suite =
     Alcotest.test_case "const nets shared" `Quick test_const_nets_shared;
     Alcotest.test_case "fig1 adjacency" `Quick test_fig1_adjacency;
     Alcotest.test_case "io round trip" `Quick test_io_roundtrip;
+    Alcotest.test_case "io degenerate round trips" `Quick test_io_degenerate_roundtrips;
     Alcotest.test_case "io errors" `Quick test_io_errors;
     QCheck_alcotest.to_alcotest prop_extract_replace_identity;
     Alcotest.test_case "extract rejects seq" `Quick test_extract_rejects_seq;
