@@ -16,6 +16,8 @@
    REPRO_SCALE scales the generated blocks (default 1.0);
    REPRO_CIRCUITS restricts table2 to a comma-separated subset;
    REPRO_SCALING_JSON writes the scaling section's JSON record to a file;
+   REPRO_SAT_JSON writes the oneshot-vs-incremental SAT comparison
+   (conflicts and wall time per mode) as JSON to a file;
    REPRO_LINT_JSON writes the lint section's JSON record to a file;
    REPRO_OBS_JSON writes the final observability metrics snapshot (every
    counter, gauge and histogram of the run) as JSON to a file. *)
@@ -300,6 +302,107 @@ let run_choices () =
 "
 
 (* ------------------------------------------------------------------ *)
+(* Oneshot vs incremental SAT core, shared by scaling and cache         *)
+(* ------------------------------------------------------------------ *)
+
+type sat_mode_row = {
+  sm_name : string;
+  sm_queries : int;
+  sm_t_one : float;  (* classify wall seconds, oneshot *)
+  sm_t_inc : float;  (* classify wall seconds, incremental *)
+  sm_k_one : int;    (* solver conflicts, oneshot *)
+  sm_k_inc : int;    (* solver conflicts, incremental *)
+  sm_d_one : int;    (* solver decisions, oneshot *)
+  sm_d_inc : int;    (* solver decisions, incremental *)
+  sm_p_one : int;    (* propagations, oneshot *)
+  sm_p_inc : int;    (* propagations, incremental *)
+  sm_identical : bool;
+}
+
+let sat_mode_memo : (string, sat_mode_row) Hashtbl.t = Hashtbl.create 4
+
+(* Classify the full fault list once per mode at jobs=1 and delta the
+   process-wide solver totals around each run.  The random-simulation
+   prefilter inside [classify] is mode-independent, so the wall-clock
+   difference between the two rows is pure SAT work. *)
+let sat_mode_row name =
+  match Hashtbl.find_opt sat_mode_memo name with
+  | Some r -> r
+  | None ->
+      let d = design_of name in
+      let nl = d.Design.netlist in
+      let faults = d.Design.fault_list.Dfm_guidelines.Translate.faults in
+      let measure mode =
+        let c0, d0, p0 = Dfm_sat.Solver.totals () in
+        let t0 = Dfm_atpg.Atpg.sat_seconds () in
+        let cls = Dfm_atpg.Atpg.classify ~jobs:1 ~sat_mode:mode nl faults in
+        let t = Dfm_atpg.Atpg.sat_seconds () -. t0 in
+        let c1, d1, p1 = Dfm_sat.Solver.totals () in
+        (cls, t, c1 - c0, d1 - d0, p1 - p0)
+      in
+      let one, t_one, k_one, d_one, p_one = measure Dfm_atpg.Atpg.Oneshot in
+      let inc, t_inc, k_inc, d_inc, p_inc = measure Dfm_atpg.Atpg.Incremental in
+      let row =
+        {
+          sm_name = name;
+          sm_queries = one.Dfm_atpg.Atpg.counts.Dfm_atpg.Atpg.sat_queries;
+          sm_t_one = t_one;
+          sm_t_inc = t_inc;
+          sm_k_one = k_one;
+          sm_k_inc = k_inc;
+          sm_d_one = d_one;
+          sm_d_inc = d_inc;
+          sm_p_one = p_one;
+          sm_p_inc = p_inc;
+          sm_identical = one.Dfm_atpg.Atpg.status = inc.Dfm_atpg.Atpg.status;
+        }
+      in
+      Hashtbl.add sat_mode_memo name row;
+      row
+
+(* The redundancy-heavy pair the acceptance targets; fall back to the
+   subset's head so REPRO_CIRCUITS keeps working. *)
+let sat_mode_picks () =
+  match List.filter (fun n -> List.mem n circuits_subset) [ "wb_conmax"; "tv80" ] with
+  | _ :: _ as l -> l
+  | [] -> [ List.hd circuits_subset ]
+
+let report_sat_modes () =
+  Printf.printf "SAT core: oneshot vs incremental on the same fault set (jobs=1)\n";
+  List.iter
+    (fun name ->
+      let r = sat_mode_row name in
+      let per t = 1e3 *. t /. float_of_int (max 1 r.sm_queries) in
+      Printf.printf
+        "  %-11s %5d queries   conflicts %7d -> %6d (%5.1fx)   per-fault SAT time %7.3f -> %7.3f ms (%4.1fx)   bit-identical %b\n"
+        name r.sm_queries r.sm_k_one r.sm_k_inc
+        (float_of_int r.sm_k_one /. Float.max 1.0 (float_of_int r.sm_k_inc))
+        (per r.sm_t_one) (per r.sm_t_inc)
+        (r.sm_t_one /. Float.max 1e-9 r.sm_t_inc)
+        r.sm_identical;
+      Printf.printf
+        "  %-11s %19s decisions %7d -> %7d          propagations %9d -> %9d\n" ""
+        "" r.sm_d_one r.sm_d_inc r.sm_p_one r.sm_p_inc)
+    (sat_mode_picks ())
+
+let sat_modes_json () =
+  Printf.sprintf "{\"section\":\"sat\",\"results\":[%s]}"
+    (String.concat ","
+       (List.map
+          (fun name ->
+            let r = sat_mode_row name in
+            Printf.sprintf
+              "{\"circuit\":\"%s\",\"sat_queries\":%d,\
+               \"oneshot\":{\"seconds\":%.6f,\"conflicts\":%d},\
+               \"incremental\":{\"seconds\":%.6f,\"conflicts\":%d},\
+               \"conflicts_ratio\":%.3f,\"time_ratio\":%.3f,\"identical\":%b}"
+              name r.sm_queries r.sm_t_one r.sm_k_one r.sm_t_inc r.sm_k_inc
+              (float_of_int r.sm_k_one /. Float.max 1.0 (float_of_int r.sm_k_inc))
+              (r.sm_t_one /. Float.max 1e-9 r.sm_t_inc)
+              r.sm_identical)
+          (sat_mode_picks ())))
+
+(* ------------------------------------------------------------------ *)
 (* Scaling: the multicore fault-classification engine                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -356,13 +459,15 @@ let run_scaling () =
             rows))
   in
   Printf.printf "scaling-json: %s\n" json;
-  match Sys.getenv_opt "REPRO_SCALING_JSON" with
+  (match Sys.getenv_opt "REPRO_SCALING_JSON" with
   | None -> ()
   | Some path ->
       let oc = open_out path in
       output_string oc (json ^ "\n");
       close_out oc;
-      Printf.printf "wrote %s\n" path
+      Printf.printf "wrote %s\n" path);
+  print_newline ();
+  report_sat_modes ()
 
 (* ------------------------------------------------------------------ *)
 (* Cache: the incremental verdict cache across the resynthesis loop     *)
@@ -436,13 +541,15 @@ let run_cache () =
             rows))
   in
   Printf.printf "cache-json: %s\n" json;
-  match Sys.getenv_opt "REPRO_CACHE_JSON" with
+  (match Sys.getenv_opt "REPRO_CACHE_JSON" with
   | None -> ()
   | Some path ->
       let oc = open_out path in
       output_string oc (json ^ "\n");
       close_out oc;
-      Printf.printf "wrote %s\n" path
+      Printf.printf "wrote %s\n" path);
+  print_newline ();
+  report_sat_modes ()
 
 (* ------------------------------------------------------------------ *)
 (* Lint: structural findings and the static-untestability pre-SAT filter *)
@@ -587,6 +694,18 @@ let () =
   if wants "cache" then run_cache ();
   if wants "lint" then run_lint ();
   if wants "micro" then run_micro ();
+  (* The oneshot-vs-incremental comparison piggybacks on the scaling and
+     cache sections; REPRO_SAT_JSON snapshots it (computing it first if
+     neither section ran). *)
+  (match Sys.getenv_opt "REPRO_SAT_JSON" with
+  | None -> ()
+  | Some path ->
+      let json = sat_modes_json () in
+      Printf.printf "sat-json: %s\n" json;
+      let oc = open_out path in
+      output_string oc (json ^ "\n");
+      close_out oc;
+      Printf.printf "wrote %s\n" path);
   (* The process-wide metrics registry has been counting all along (SAT
      effort, cache traffic, pool activity, ...): snapshot it on request so
      a harness run doubles as an observability record. *)

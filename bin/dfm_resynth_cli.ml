@@ -134,6 +134,22 @@ let max_conflicts_arg =
 let escalation_of max_conflicts =
   Option.map (fun _ -> Dfm_atpg.Atpg.default_escalation) max_conflicts
 
+let sat_mode_arg =
+  let doc =
+    "SAT engine for the ATPG queries: $(b,incremental) (the default) keeps one persistent \
+     solver per fault shard — the good-circuit CNF is encoded once, each fault adds only \
+     activation-guarded cone clauses, learnt clauses carry across queries; $(b,oneshot) \
+     builds a throwaway solver per query (the pre-incremental behaviour).  Verdicts are \
+     identical in both modes."
+  in
+  let modes =
+    Arg.enum [ ("incremental", Dfm_atpg.Atpg.Incremental); ("oneshot", Dfm_atpg.Atpg.Oneshot) ]
+  in
+  Arg.(
+    value
+    & opt modes (Dfm_atpg.Atpg.default_sat_mode ())
+    & info [ "sat-mode" ] ~docv:"MODE" ~doc)
+
 let cache_dir_arg =
   let doc =
     "Directory for the persistent fault-verdict cache (default \\$REPRO_CACHE; unset \
@@ -302,8 +318,8 @@ let static_filter_arg =
   Arg.(value & flag & info [ "static-filter" ] ~doc)
 
 let analyze_cmd =
-  let run name scale jobs cache_dir expect_hits max_conflicts static_filter failpoints trace
-      metrics log_level progress =
+  let run name scale jobs cache_dir expect_hits max_conflicts static_filter sat_mode
+      failpoints trace metrics log_level progress =
     apply_jobs jobs;
     apply_failpoints failpoints;
     let obs = apply_obs trace metrics log_level progress in
@@ -313,7 +329,7 @@ let analyze_cmd =
     let cache = make_cache cache_dir in
     let d =
       Design.implement ?cache ?max_conflicts ?escalation:(escalation_of max_conflicts)
-        ~static_filter nl
+        ~static_filter ~sat_mode nl
     in
     if static_filter then
       Fmt.pr "static filter: %d fault(s) proven Undetectable before SAT@."
@@ -341,8 +357,8 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc:"Implement a block and report its fault clustering.")
     Term.(
       const run $ circuit_arg $ scale_arg $ jobs_arg $ cache_dir_arg $ expect_hits_arg
-      $ max_conflicts_arg $ static_filter_arg $ failpoint_arg $ trace_arg $ metrics_arg
-      $ log_level_arg $ progress_arg)
+      $ max_conflicts_arg $ static_filter_arg $ sat_mode_arg $ failpoint_arg $ trace_arg
+      $ metrics_arg $ log_level_arg $ progress_arg)
 
 (* ---- lint ---- *)
 
@@ -443,8 +459,8 @@ let resynth_cmd =
            ~doc:"Write the resynthesized netlist (text format) to \\$(docv).")
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print accepted steps.") in
-  let run name scale jobs cache_dir expect_hits q_max p1 out verbose max_conflicts failpoints
-      checkpoint_dir resume trace metrics log_level progress =
+  let run name scale jobs cache_dir expect_hits q_max p1 out verbose max_conflicts sat_mode
+      failpoints checkpoint_dir resume trace metrics log_level progress =
     apply_jobs jobs;
     apply_failpoints failpoints;
     let obs = apply_obs trace metrics log_level progress in
@@ -453,14 +469,19 @@ let resynth_cmd =
     Fmt.pr "implementing %s (%d jobs) ...@." name (Dfm_util.Parallel.default_jobs ());
     let cache = make_cache cache_dir in
     let escalation = escalation_of max_conflicts in
-    let d0 = Design.implement ?cache ?max_conflicts ?escalation nl in
-    Fmt.pr "original:      %a@." Design.pp_metrics (Design.metrics d0);
-    (* -v keeps its historical behaviour through the deprecated [?log]
-       shim; without it campaign messages flow through Dfm_obs.Log and
-       appear at --log-level info. *)
-    let log = if verbose then Some (fun s -> Fmt.pr "  %s@." s) else None in
     let r =
-      try Resynth.run ~p1_percent:p1 ~q_max ?cache ?max_conflicts ?escalation ?checkpoint ?log d0
+      (* The whole campaign — baseline implement included — sits under one
+         handler: with --checkpoint-dir, any injected or I/O death becomes
+         a one-line "campaign aborted" + exit 2, never a backtrace. *)
+      try
+        let d0 = Design.implement ?cache ?max_conflicts ?escalation ~sat_mode nl in
+        Fmt.pr "original:      %a@." Design.pp_metrics (Design.metrics d0);
+        (* -v keeps its historical behaviour through the deprecated [?log]
+           shim; without it campaign messages flow through Dfm_obs.Log and
+           appear at --log-level info. *)
+        let log = if verbose then Some (fun s -> Fmt.pr "  %s@." s) else None in
+        Resynth.run ~p1_percent:p1 ~q_max ?cache ?max_conflicts ?escalation ~sat_mode
+          ?checkpoint ?log d0
       with
       | Dfm_core.Checkpoint.Error msg ->
           Fmt.epr "dfm_resynth: %s@." msg;
@@ -499,8 +520,9 @@ let resynth_cmd =
        ~doc:"Run the two-phase resynthesis procedure of the paper on a block.")
     Term.(
       const run $ circuit_arg $ scale_arg $ jobs_arg $ cache_dir_arg $ expect_hits_arg $ q_max
-      $ p1 $ out $ verbose $ max_conflicts_arg $ failpoint_arg $ checkpoint_dir_arg
-      $ resume_arg $ trace_arg $ metrics_arg $ log_level_arg $ progress_arg)
+      $ p1 $ out $ verbose $ max_conflicts_arg $ sat_mode_arg $ failpoint_arg
+      $ checkpoint_dir_arg $ resume_arg $ trace_arg $ metrics_arg $ log_level_arg
+      $ progress_arg)
 
 (* ---- ablate ---- *)
 

@@ -29,6 +29,18 @@ let m_static_filtered =
 
 type status = Detected | Undetectable | Aborted
 
+type sat_mode = Oneshot | Incremental
+
+(* Incremental is the default engine; REPRO_SAT_MODE=oneshot restores the
+   throwaway-solver-per-query behaviour fleet-wide (e.g. to bisect a
+   suspected solver-state bug without touching call sites). *)
+let default_sat_mode () =
+  match Sys.getenv_opt "REPRO_SAT_MODE" with
+  | Some "oneshot" -> Oneshot
+  | Some "incremental" | None -> Incremental
+  | Some other ->
+      invalid_arg (Printf.sprintf "REPRO_SAT_MODE: unknown mode %S" other)
+
 type counts = {
   total : int;
   detected : int;
@@ -101,19 +113,46 @@ let sim_range s fs ~good ~lo ~hi =
     if s.st.(fid) = 0 then apply_words s fs ~mask:(-1L) ~good fid
   done
 
+(* Process-wide wall time spent in the SAT phase (session setup, per-fault
+   encoding and solving — everything except the random-simulation
+   prefilter), accumulated in nanoseconds across all domains.  Deltas of
+   this around a classify give the mode-comparable "per-fault SAT time"
+   the bench reports; the prefilter is mode-independent and would only
+   dilute the comparison. *)
+let sat_nanos_total = Atomic.make 0
+
+let sat_seconds () = 1e-9 *. float_of_int (Atomic.get sat_nanos_total)
+
 (* One SAT query per unresolved fault of [lo, hi); returns the query count.
-   Each query builds its own solver, so ranges are independent. *)
-let sat_range ?max_conflicts s ~lo ~hi =
+   In [Oneshot] mode every query builds a throwaway solver, so queries are
+   fully independent.  In [Incremental] mode the whole range shares one
+   session: the good-circuit CNF is encoded once and each fault adds only
+   activation-guarded faulty-cone clauses, with learnt clauses carried from
+   query to query.  Either way a range writes only its own [lo, hi) slots,
+   so shards stay restartable — a supervised retry simply starts a fresh
+   session for the still-unresolved suffix. *)
+let sat_range ?max_conflicts ~sat_mode s ~lo ~hi =
+  let t0 = Dfm_obs.Clock.now_ns () in
   let queries = ref 0 in
+  let check =
+    match sat_mode with
+    | Oneshot -> fun f -> Encode.check ?max_conflicts s.ls f
+    | Incremental ->
+        let sess = lazy (Encode.make_session s.ls) in
+        fun f -> Encode.check_incr ?max_conflicts (Lazy.force sess) f
+  in
   for fid = lo to hi - 1 do
     if s.st.(fid) = 0 then begin
       incr queries;
-      match Encode.check ?max_conflicts s.ls s.faults.(fid) with
+      match check s.faults.(fid) with
       | Encode.Tests _ -> s.st.(fid) <- 1
       | Encode.Undetectable -> s.st.(fid) <- 2
       | Encode.Unknown -> s.st.(fid) <- 3
     end
   done;
+  ignore
+    (Atomic.fetch_and_add sat_nanos_total
+       (Int64.to_int (Int64.sub (Dfm_obs.Clock.now_ns ()) t0)));
   !queries
 
 let finish_counts s =
@@ -157,10 +196,11 @@ let finish_counts s =
 let shard_bounds ~jobs nf = Parallel.chunk_bounds ~chunk:((nf + jobs - 1) / jobs) nf
 
 let classify ?(seed = 1) ?max_conflicts ?(random_blocks = 16) ?jobs ?cache ?static_filter
-    nl faults =
+    ?sat_mode nl faults =
   Span.with_ "atpg.classify"
     ~attrs:[ ("faults", string_of_int (Array.length faults)) ]
   @@ fun () ->
+  let sat_mode = match sat_mode with Some m -> m | None -> default_sat_mode () in
   let nf = Array.length faults in
   Metrics.incr ~by:nf m_classified;
   let jobs =
@@ -229,7 +269,7 @@ let classify ?(seed = 1) ?max_conflicts ?(random_blocks = 16) ?jobs ?cache ?stat
        (which re-queries only the still-unresolved suffix) cannot skew the
        effort accounting away from the sequential reference. *)
     s.sat_queries <- unresolved_count s;
-    ignore (sat_range ?max_conflicts s ~lo:0 ~hi:nf : int)
+    ignore (sat_range ?max_conflicts ~sat_mode s ~lo:0 ~hi:nf : int)
   end
   else begin
     (* The UDFM lazy caches must not be forced for the first time inside a
@@ -270,7 +310,7 @@ let classify ?(seed = 1) ?max_conflicts ?(random_blocks = 16) ?jobs ?cache ?stat
               Span.with_ "classify.shard"
                 ~attrs:
                   [ ("phase", "sat"); ("lo", string_of_int lo); ("hi", string_of_int hi) ]
-                (fun () -> ignore (sat_range ?max_conflicts s ~lo ~hi : int)))
+                (fun () -> ignore (sat_range ?max_conflicts ~sat_mode s ~lo ~hi : int)))
             bounds)
         : Parallel.supervision)
   end;
@@ -313,18 +353,25 @@ let no_escalation =
    b_k = max_conflicts * factor^k, charging each query's granted budget
    against [max_total_conflicts].  The solver's conclusions are
    budget-monotone — a verdict reached within c conflicts is reached within
-   any budget >= c — so the ladder's outcome per fault equals a single run
-   at the last budget that fault was tried with; cheap rungs just resolve
-   the easy aborts before the expensive budgets are spent.  Runs entirely
-   in the coordinating domain: abort sets are small and the cache (if any)
-   must only ever be touched from here. *)
-let escalate ?(policy = default_escalation) ?cache ~max_conflicts nl faults
+   any budget >= c — so in [Oneshot] mode the ladder's outcome per fault
+   equals a single run at the last budget that fault was tried with; cheap
+   rungs just resolve the easy aborts before the expensive budgets are
+   spent.  In [Incremental] mode one session persists across the whole
+   ladder: a retried fault re-solves its still-live activation groups under
+   the larger budget without re-encoding, and learnt clauses from earlier
+   rungs carry over — so a rung can only be cheaper than the equivalent
+   cold run, and a fault may resolve on an earlier rung than it would cold
+   (verdicts themselves are budget- and history-independent).  Runs
+   entirely in the coordinating domain: abort sets are small and the cache
+   (if any) must only ever be touched from here. *)
+let escalate ?(policy = default_escalation) ?cache ?sat_mode ~max_conflicts nl faults
     (cls : classification) =
   if cls.counts.aborted = 0 then (cls, no_escalation)
   else begin
     Span.with_ "atpg.escalate"
       ~attrs:[ ("aborted", string_of_int cls.counts.aborted) ]
     @@ fun () ->
+    let sat_mode = match sat_mode with Some m -> m | None -> default_sat_mode () in
     let factor = max 2 policy.factor in
     let nf = Array.length faults in
     let pending = ref [] in
@@ -348,6 +395,16 @@ let escalate ?(policy = default_escalation) ?cache ~max_conflicts nl faults
     let publish fid v =
       match cache with None -> () | Some c -> Dfm_incr.Cache.record c sigs.(fid) v
     in
+    (* One persistent session for the whole ladder: Unknown verdicts leave
+       their activation groups pending, so the next rung re-solves them
+       without re-encoding a single clause. *)
+    let check =
+      match sat_mode with
+      | Oneshot -> fun ~max_conflicts f -> Encode.check ~max_conflicts s.ls f
+      | Incremental ->
+          let sess = Encode.make_session s.ls in
+          fun ~max_conflicts f -> Encode.check_incr ~max_conflicts sess f
+    in
     let budget = ref max_conflicts in
     let effort = ref 0 and retried = ref 0 and rungs = ref 0 and resolved = ref 0 in
     let per_rung = ref [] in
@@ -369,7 +426,7 @@ let escalate ?(policy = default_escalation) ?cache ~max_conflicts nl faults
               incr retried;
               effort := !effort + b;
               s.sat_queries <- s.sat_queries + 1;
-              match Encode.check ~max_conflicts:b s.ls faults.(fid) with
+              match check ~max_conflicts:b faults.(fid) with
               | Encode.Tests _ ->
                   s.st.(fid) <- 1;
                   incr resolved;
@@ -405,8 +462,18 @@ let escalate ?(policy = default_escalation) ?cache ~max_conflicts nl faults
 
 let bit b w = Int64.logand (Int64.shift_right_logical w b) 1L = 1L
 
-let generate ?(seed = 1) ?max_conflicts nl faults =
+let generate ?(seed = 1) ?max_conflicts ?sat_mode nl faults =
   let s = make_state nl faults in
+  let sat_mode = match sat_mode with Some m -> m | None -> default_sat_mode () in
+  (* Generation is sequential (coordinator only), so a single session can
+     serve every fault's query. *)
+  let sat_check =
+    match sat_mode with
+    | Oneshot -> fun f -> Encode.check ?max_conflicts s.ls f
+    | Incremental ->
+        let sess = lazy (Encode.make_session s.ls) in
+        fun f -> Encode.check_incr ?max_conflicts (Lazy.force sess) f
+  in
   let rng = Rng.create (seed + 177) in
   let nf = Array.length faults in
   let tests = ref [] in
@@ -490,7 +557,7 @@ let generate ?(seed = 1) ?max_conflicts nl faults =
   for fid = 0 to nf - 1 do
     if s.st.(fid) = 0 then begin
       s.sat_queries <- s.sat_queries + 1;
-      match Encode.check ?max_conflicts s.ls faults.(fid) with
+      match sat_check faults.(fid) with
       | Encode.Undetectable -> resolve s fid 2
       | Encode.Unknown -> resolve s fid 3
       | Encode.Tests pats ->

@@ -20,6 +20,29 @@
 
 type status = Detected | Undetectable | Aborted
 
+(** How SAT queries are issued.
+
+    - [Oneshot]: every query builds a throwaway solver — the
+      pre-incremental behaviour; queries are fully independent.
+    - [Incremental] (the default): all unresolved faults of a shard share
+      one persistent solver session ({!Dfm_sat.Incremental}): the
+      good-circuit CNF is encoded once, each fault contributes only
+      activation-guarded faulty-cone clauses, and learnt clauses carry from
+      query to query.
+
+    Semantic verdicts (Detected / Undetectable) are identical in both
+    modes, for any [jobs] value.  Under a {e bounded} [max_conflicts]
+    budget only the [Aborted] frontier can differ: retained learnt clauses
+    let incremental sessions resolve within a budget that a cold solver
+    would exhaust, and that head start depends on which faults preceded a
+    query in its shard.  At the default unbounded budget no Aborted
+    verdicts exist and the two modes are bit-identical. *)
+type sat_mode = Oneshot | Incremental
+
+val default_sat_mode : unit -> sat_mode
+(** [Incremental], unless the [REPRO_SAT_MODE] environment variable says
+    [oneshot].  @raise Invalid_argument on an unknown value. *)
+
 type counts = {
   total : int;
   detected : int;
@@ -44,6 +67,14 @@ type generation = {
           healthy build; surfaced for the test suite) *)
 }
 
+val sat_seconds : unit -> float
+(** Process-wide wall time spent in the SAT phase of classification
+    (session setup, per-fault encoding and solving), accumulated across
+    every campaign in every domain — the random-simulation prefilter is
+    excluded.  Like {!Dfm_sat.Solver.totals}, meant to be delta'd around a
+    fixed query set; used by the bench to report per-fault SAT time per
+    {!sat_mode}. *)
+
 val classify :
   ?seed:int ->
   ?max_conflicts:int ->
@@ -51,6 +82,7 @@ val classify :
   ?jobs:int ->
   ?cache:Dfm_incr.Cache.t ->
   ?static_filter:(Dfm_faults.Fault.t -> bool) ->
+  ?sat_mode:sat_mode ->
   Dfm_netlist.Netlist.t ->
   Dfm_faults.Fault.t array ->
   classification
@@ -61,9 +93,13 @@ val classify :
     domains for both the random-simulation prefilter and the SAT phase.
     Shards are contiguous ranges that are a pure function of the fault and
     job counts, each worker owns its own simulator scratch and solver
-    state, and per-fault verdicts do not depend on each other — so the
-    classification is bit-identical to the sequential result for every
-    [jobs] value.  [jobs = 1] never spawns a domain.
+    state, and semantic per-fault verdicts do not depend on each other — so
+    the classification is bit-identical to the sequential result for every
+    [jobs] value.  [jobs = 1] never spawns a domain.  (With the default
+    [Incremental] SAT mode {e and} a bounded [max_conflicts], the identity
+    covers the semantic verdicts; the [Aborted] frontier can shift with the
+    shard layout — see {!sat_mode}.  At the default unbounded budget, or in
+    [Oneshot] mode, the identity is exact bit-for-bit.)
 
     [cache] consults a content-addressed verdict store before {e both} the
     random-simulation prefilter and the SAT phase, and publishes the
@@ -112,6 +148,7 @@ type escalation_stats = {
 val escalate :
   ?policy:escalation_policy ->
   ?cache:Dfm_incr.Cache.t ->
+  ?sat_mode:sat_mode ->
   max_conflicts:int ->
   Dfm_netlist.Netlist.t ->
   Dfm_faults.Fault.t array ->
@@ -120,17 +157,24 @@ val escalate :
 (** Retry the [Aborted] faults of a bounded-budget classification on a
     geometric conflict-budget ladder [max_conflicts * factor^k], stopping
     when every abort is resolved or the total-effort cap is reached.
-    Because solver conclusions are budget-monotone, the result is
-    bit-identical (statuses and counts other than [sat_queries]) to a
-    single {!classify} run at the ladder's final budget — the ladder only
-    spends the large budgets on the faults that still need them.  Resolved
-    verdicts are published to [cache] under the original [max_conflicts]
-    signatures; residual aborts stay [Aborted] in the returned
-    classification.  Runs in the calling domain. *)
+    Because solver conclusions are budget-monotone, in [Oneshot] mode the
+    result is bit-identical (statuses and counts other than [sat_queries])
+    to a single {!classify} run at the ladder's final budget — the ladder
+    only spends the large budgets on the faults that still need them.  In
+    the default [Incremental] mode one solver session persists across the
+    whole ladder: retried faults re-solve their still-live activation
+    groups without re-encoding, learnt clauses accumulate from rung to
+    rung, and a fault can therefore resolve on an {e earlier} rung than a
+    cold run would need — semantic verdicts are unchanged, only the effort
+    frontier improves.  Resolved verdicts are published to [cache] under
+    the original [max_conflicts] signatures; residual aborts stay
+    [Aborted] in the returned classification.  Runs in the calling
+    domain. *)
 
 val generate :
   ?seed:int ->
   ?max_conflicts:int ->
+  ?sat_mode:sat_mode ->
   Dfm_netlist.Netlist.t ->
   Dfm_faults.Fault.t array ->
   generation

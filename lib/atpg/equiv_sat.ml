@@ -2,6 +2,7 @@ module N = Dfm_netlist.Netlist
 module Cell = Dfm_netlist.Cell
 module Solver = Dfm_sat.Solver
 module Tseitin = Dfm_sat.Tseitin
+module Incr = Dfm_sat.Incremental
 
 type verdict =
   | Equivalent
@@ -40,7 +41,8 @@ let check t1 t2 =
   if in1 <> in2 then Interface_mismatch "inputs"
   else if out1 <> out2 then Interface_mismatch "outputs"
   else begin
-    let solver = Solver.create () in
+    let sess = Incr.create () in
+    let solver = Incr.solver sess in
     let var_tbl = Hashtbl.create 64 in
     List.iter
       (fun label ->
@@ -51,17 +53,23 @@ let check t1 t2 =
     let v1 = encode solver t1 var_of_label in
     let v2 = encode solver t2 var_of_label in
     (* Check output labels one at a time so a difference can be named; each
-       check reuses the same solver with a fresh selector assumption. *)
+       label is an activation-guarded query on the shared session, so the
+       per-label difference constraints never pollute each other and the
+       learnt clauses of a proved-equivalent label speed up the next. *)
     let rec go = function
       | [] -> Equivalent
       | label :: rest ->
           let n1 = List.assoc label (N.observe_nets t1) in
           let n2 = List.assoc label (N.observe_nets t2) in
+          let act = Incr.new_activation sess in
           let d = Solver.new_var solver in
-          Tseitin.xor_ solver ~out:d v1.(n1) v2.(n2);
-          (match Solver.solve ~assumptions:[ d ] solver with
+          Tseitin.xor_ ~act solver ~out:d v1.(n1) v2.(n2);
+          Incr.add_guarded sess ~act [ d ];
+          (match Incr.solve sess ~act with
           | Solver.Sat -> Different label
-          | Solver.Unsat -> go rest
+          | Solver.Unsat ->
+              Incr.retire sess ~act ~locals:[ d ];
+              go rest
           | Solver.Unknown -> Different (label ^ " (unknown)"))
     in
     go out1

@@ -22,3 +22,17 @@ val check :
 (** Only [Stuck] faults are supported (PODEM's classic domain).
     @raise Invalid_argument for other fault kinds.
     Default backtrack limit: 10_000. *)
+
+val check_with_sat :
+  ?max_backtracks:int ->
+  ?max_conflicts:int ->
+  ?session:Encode.session ->
+  Dfm_sim.Logic_sim.t ->
+  Dfm_faults.Fault.t ->
+  verdict
+(** {!check}, escalating an [Aborted] structural search to a SAT query:
+    with [session] the query joins that shared incremental session
+    ({!Encode.check_incr}) and benefits from its retained clauses, without
+    it a one-shot {!Encode.check} runs.  A SAT [Undetectable] maps to
+    [Redundant]; an over-budget SAT query stays [Aborted].  Fallbacks are
+    counted in [dfm_podem_sat_fallbacks_total]. *)

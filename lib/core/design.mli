@@ -48,6 +48,7 @@ val implement :
   ?max_conflicts:int ->
   ?escalation:Dfm_atpg.Atpg.escalation_policy ->
   ?static_filter:bool ->
+  ?sat_mode:Dfm_atpg.Atpg.sat_mode ->
   Dfm_netlist.Netlist.t ->
   t
 (** Run the whole pipeline.  [max_conflicts] bounds each classification SAT
@@ -66,7 +67,11 @@ val implement :
     [static_filter] (default off) runs {!Dfm_lint.Dataflow} over the
     netlist and hands its sound undetectability proof to the
     classification, skipping random simulation and SAT for statically
-    proven faults — again without changing any verdict. *)
+    proven faults — again without changing any verdict.
+    [sat_mode] selects the SAT query engine (default
+    {!Dfm_atpg.Atpg.default_sat_mode}: incremental sessions with learnt
+    clauses shared across the faults of a shard; see
+    {!Dfm_atpg.Atpg.sat_mode}). *)
 
 val metrics : t -> metrics
 

@@ -78,6 +78,7 @@ type state = {
   cache : Dfm_incr.Cache.t option;
   max_conflicts : int option;
   escalation : Atpg.escalation_policy option;
+  sat_mode : Atpg.sat_mode;
   ckpt : Checkpoint.t option;
   floorplan : Dfm_layout.Floorplan.t;
   orig_delay : float;
@@ -185,13 +186,17 @@ let note_escalation st (es : Atpg.escalation_stats) =
 let internal_u_of_netlist st nl =
   let faults = Dfm_guidelines.Translate.internal_only nl in
   let cls =
-    Atpg.classify ~seed:st.seed ?max_conflicts:st.max_conflicts ?cache:st.cache nl faults
+    Atpg.classify ~seed:st.seed ?max_conflicts:st.max_conflicts ?cache:st.cache
+      ~sat_mode:st.sat_mode nl faults
   in
   st.sat_queries <- st.sat_queries + cls.Atpg.counts.Atpg.sat_queries;
   let cls =
     match (st.max_conflicts, st.escalation) with
     | Some mc, Some policy when cls.Atpg.counts.Atpg.aborted > 0 ->
-        let cls', es = Atpg.escalate ~policy ?cache:st.cache ~max_conflicts:mc nl faults cls in
+        let cls', es =
+          Atpg.escalate ~policy ?cache:st.cache ~sat_mode:st.sat_mode ~max_conflicts:mc nl
+            faults cls
+        in
         note_escalation st es;
         cls'
     | _ -> cls
@@ -203,7 +208,8 @@ let implement_opt st nl =
   try
     let d =
       Design.implement ~seed:st.seed ~floorplan:st.floorplan ~previous:st.current
-        ?cache:st.cache ?max_conflicts:st.max_conflicts ?escalation:st.escalation nl
+        ?cache:st.cache ?max_conflicts:st.max_conflicts ?escalation:st.escalation
+        ~sat_mode:st.sat_mode nl
     in
     st.sat_queries <- st.sat_queries + d.Design.classification.Atpg.counts.Atpg.sat_queries;
     Option.iter
@@ -539,7 +545,8 @@ let checkpoint_header ~p1_percent ~q_max ~seed ~sweep ~context_levels ~max_confl
     (match max_conflicts with None -> "-" | Some c -> string_of_int c)
 
 let run ?(p1_percent = 1.0) ?(q_max = 5) ?(seed = 3) ?(sweep = true) ?(context_levels = 2)
-    ?cache ?max_conflicts ?escalation ?checkpoint ?log initial =
+    ?cache ?max_conflicts ?escalation ?sat_mode ?checkpoint ?log initial =
+  let sat_mode = match sat_mode with Some m -> m | None -> Atpg.default_sat_mode () in
   (* [?log] is the deprecated pre-logger callback: when given it still
      receives every campaign message verbatim; otherwise messages become
      [Dfm_obs.Log.info] records (dropped until a sink is installed). *)
@@ -566,9 +573,12 @@ let run ?(p1_percent = 1.0) ?(q_max = 5) ?(seed = 3) ?(sweep = true) ?(context_l
      baseline deliberately stays uncached: it is the time unit every cached
      iteration is compared against. *)
   let tb0 = Unix.gettimeofday () in
-  let bdesign = Design.implement ~seed ~floorplan:initial.Design.floorplan initial.Design.netlist in
+  let bdesign =
+    Design.implement ~seed ~floorplan:initial.Design.floorplan ~sat_mode
+      initial.Design.netlist
+  in
   ignore
-    (Atpg.generate ~seed bdesign.Design.netlist
+    (Atpg.generate ~seed ~sat_mode bdesign.Design.netlist
        bdesign.Design.fault_list.Dfm_guidelines.Translate.faults);
   let baseline_s = Unix.gettimeofday () -. tb0 in
   let st =
@@ -594,6 +604,7 @@ let run ?(p1_percent = 1.0) ?(q_max = 5) ?(seed = 3) ?(sweep = true) ?(context_l
       cache;
       max_conflicts;
       escalation;
+      sat_mode;
       ckpt;
       floorplan = initial.Design.floorplan;
       orig_delay = initial.Design.timing.Dfm_timing.Sta.critical_path_delay;
@@ -623,7 +634,7 @@ let run ?(p1_percent = 1.0) ?(q_max = 5) ?(seed = 3) ?(sweep = true) ?(context_l
           in
           let d =
             Design.implement ~seed ~floorplan:st.floorplan ~previous:st.current ?cache
-              ?max_conflicts ?escalation nl
+              ?max_conflicts ?escalation ~sat_mode nl
           in
           st.current <- d;
           st.trace <- event_of_ckpt a.Checkpoint.ev :: st.trace;

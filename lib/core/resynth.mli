@@ -95,6 +95,7 @@ val run :
   ?cache:Dfm_incr.Cache.t ->
   ?max_conflicts:int ->
   ?escalation:Dfm_atpg.Atpg.escalation_policy ->
+  ?sat_mode:Dfm_atpg.Atpg.sat_mode ->
   ?checkpoint:checkpoint_spec ->
   ?log:(string -> unit) ->
   (* [?log] is deprecated: campaign messages now flow through
@@ -118,6 +119,10 @@ val run :
     [escalation] also set, aborted faults are retried on the geometric
     budget ladder of {!Dfm_atpg.Atpg.escalate} and any residue is reported
     in [aborted_residual].
+
+    [sat_mode] (default {!Dfm_atpg.Atpg.default_sat_mode}, i.e.
+    incremental) selects the SAT engine for every classification the
+    campaign performs — see {!Dfm_atpg.Atpg.sat_mode}.
 
     [checkpoint] journals every design point to [path] ({!Checkpoint}).
     Resumption contract: kill the process at any instant and re-run with

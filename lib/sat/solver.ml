@@ -1,8 +1,24 @@
-(* CDCL SAT solver.
+(* Persistent, incremental CDCL SAT solver.
 
    Internal literal encoding: variable v (1-based external) has index
    iv = v - 1; positive literal = 2*iv, negative literal = 2*iv + 1.
    Negation is [lxor 1].
+
+   The solver is built for reuse across many solves of one growing CNF
+   (the ATPG encodes thousands of per-fault detection queries into one
+   instance, each guarded by an activation literal and enabled through
+   [assumptions]):
+
+   - every [solve] fully unwinds its trail before returning — assumptions
+     never leak into the next query; a SAT answer is preserved in a model
+     snapshot for [value];
+   - learnt clauses persist across solves and are periodically reduced by
+     LBD ("glue") and activity, with binary, low-LBD and locked clauses
+     kept;
+   - an UNSAT answer under assumptions records the failing assumption
+     subset ({!failed_assumptions}, Minisat's final conflict clause);
+   - conflict analysis deletes learnt clauses subsumed on the fly by the
+     freshly learnt clause.
 
    Invariants maintained by the search:
    - every clause of size >= 2 has its two watched literals in
@@ -10,12 +26,15 @@
    - a watched literal is moved only when it becomes false and no
      other non-false literal can replace it;
    - [trail] holds assigned literals in assignment order, with
-     [trail_lim] marking decision-level boundaries. *)
+     [trail_lim] marking decision-level boundaries.
+   [check_invariants] makes the between-solve invariants executable. *)
 
 type clause = {
+  cid : int;
   lits : int array;
   mutable activity : float;
   learnt : bool;
+  lbd : int;
   mutable deleted : bool;
 }
 
@@ -32,11 +51,21 @@ type t = {
   mutable reason : clause option array;
   mutable saved_phase : bool array;
   mutable activity : float array;
+  mutable model : int array;            (* snapshot of [assign] at the last Sat *)
   mutable var_inc : float;
   mutable trail : int array;
   mutable trail_len : int;
   mutable trail_lim : int list;         (* stack of trail lengths at decisions *)
   mutable qhead : int;
+  (* Variable order: indexed binary heap over (activity, index). The linear
+     scan this replaces was fine for throwaway per-query solvers but is
+     O(nvars) per decision — ruinous once one persistent instance holds the
+     variables of thousands of retired queries. *)
+  mutable heap : int array;
+  mutable heap_pos : int array;         (* var -> index in heap, -1 = absent *)
+  mutable heap_len : int;
+  mutable failed : int list;            (* see [failed_assumptions] *)
+  mutable next_cid : int;
   mutable unsat : bool;
   mutable conflicts : int;
   mutable decisions : int;
@@ -44,6 +73,7 @@ type t = {
   mutable cla_inc : float;
   mutable n_learnts : int;
   mutable max_learnts : int;
+  mutable simplified_at : int;          (* trail length at the last level-0 sweep *)
 }
 
 let create () =
@@ -58,11 +88,17 @@ let create () =
     reason = Array.make 1 None;
     saved_phase = Array.make 1 false;
     activity = Array.make 1 0.0;
+    model = Array.make 1 (-1);
     var_inc = 1.0;
     trail = Array.make 1 0;
     trail_len = 0;
     trail_lim = [];
     qhead = 0;
+    heap = Array.make 1 0;
+    heap_pos = Array.make 1 (-1);
+    heap_len = 0;
+    failed = [];
+    next_cid = 0;
     unsat = false;
     conflicts = 0;
     decisions = 0;
@@ -70,10 +106,12 @@ let create () =
     cla_inc = 1.0;
     n_learnts = 0;
     max_learnts = 4000;
+    simplified_at = 0;
   }
 
 let num_vars s = s.nvars
 let num_clauses s = s.nclauses
+let num_learnts s = s.n_learnts
 let num_conflicts s = s.conflicts
 let num_decisions s = s.decisions
 let num_propagations s = s.propagations
@@ -104,6 +142,81 @@ let m_propagations =
   Dfm_obs.Metrics.counter ~help:"Literals propagated across all solvers"
     "dfm_sat_propagations_total"
 
+let m_learnts_kept =
+  Dfm_obs.Metrics.counter ~help:"Learnt clauses kept by reduction sweeps"
+    "dfm_sat_learnts_kept_total"
+
+let m_learnts_dropped =
+  Dfm_obs.Metrics.counter ~help:"Learnt clauses dropped by reduction sweeps"
+    "dfm_sat_learnts_dropped_total"
+
+let m_learnts_subsumed =
+  Dfm_obs.Metrics.counter ~help:"Learnt clauses deleted by on-the-fly subsumption"
+    "dfm_sat_learnts_subsumed_total"
+
+(* ---- variable-order heap ------------------------------------------- *)
+
+(* Total order: higher activity first, lower index breaking ties — the same
+   choice the old linear scan made, so branching stays deterministic. *)
+let heap_better s v w =
+  s.activity.(v) > s.activity.(w) || (s.activity.(v) = s.activity.(w) && v < w)
+
+let heap_swap s i j =
+  let v = s.heap.(i) and w = s.heap.(j) in
+  s.heap.(i) <- w;
+  s.heap.(j) <- v;
+  s.heap_pos.(w) <- i;
+  s.heap_pos.(v) <- j
+
+let rec heap_sift_up s i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if heap_better s s.heap.(i) s.heap.(parent) then begin
+      heap_swap s i parent;
+      heap_sift_up s parent
+    end
+  end
+
+let rec heap_sift_down s i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < s.heap_len && heap_better s s.heap.(l) s.heap.(!best) then best := l;
+  if r < s.heap_len && heap_better s s.heap.(r) s.heap.(!best) then best := r;
+  if !best <> i then begin
+    heap_swap s i !best;
+    heap_sift_down s !best
+  end
+
+let heap_insert s v =
+  if s.heap_pos.(v) < 0 then begin
+    if s.heap_len >= Array.length s.heap then begin
+      let h = Array.make (max 2 (2 * Array.length s.heap)) 0 in
+      Array.blit s.heap 0 h 0 s.heap_len;
+      s.heap <- h
+    end;
+    s.heap.(s.heap_len) <- v;
+    s.heap_pos.(v) <- s.heap_len;
+    s.heap_len <- s.heap_len + 1;
+    heap_sift_up s (s.heap_len - 1)
+  end
+
+let heap_pop s =
+  if s.heap_len = 0 then -1
+  else begin
+    let v = s.heap.(0) in
+    s.heap_len <- s.heap_len - 1;
+    s.heap_pos.(v) <- -1;
+    if s.heap_len > 0 then begin
+      let w = s.heap.(s.heap_len) in
+      s.heap.(0) <- w;
+      s.heap_pos.(w) <- 0;
+      heap_sift_down s 0
+    end;
+    v
+  end
+
+(* ---- variables ------------------------------------------------------ *)
+
 let grow_arrays s n =
   let old = Array.length s.assign in
   if n > old then begin
@@ -118,7 +231,9 @@ let grow_arrays s n =
     s.reason <- g s.reason None;
     s.saved_phase <- g s.saved_phase false;
     s.activity <- g s.activity 0.0;
+    s.model <- g s.model (-1);
     s.trail <- g s.trail 0;
+    s.heap_pos <- g s.heap_pos (-1);
     let oldw = Array.length s.watches in
     if 2 * nn > oldw then begin
       let w = Array.make (2 * nn) [] in
@@ -130,6 +245,9 @@ let grow_arrays s n =
 let ensure_vars s n =
   if n > s.nvars then begin
     grow_arrays s n;
+    for v = s.nvars to n - 1 do
+      heap_insert s v
+    done;
     s.nvars <- n
   end
 
@@ -156,13 +274,29 @@ let lvalue s l =
 let bump_var s v =
   s.activity.(v) <- s.activity.(v) +. s.var_inc;
   if s.activity.(v) > 1e100 then begin
+    (* Uniform rescale preserves the heap order. *)
     for i = 0 to s.nvars - 1 do
       s.activity.(i) <- s.activity.(i) *. 1e-100
     done;
     s.var_inc <- s.var_inc *. 1e-100
-  end
+  end;
+  if s.heap_pos.(v) >= 0 then heap_sift_up s s.heap_pos.(v)
 
 let decay_activity s = s.var_inc <- s.var_inc /. 0.95
+
+(* Focus the branching heuristic on a set of variables (1-based external
+   ids) by bumping them ahead of everything else.  Used by incremental
+   sessions to point the search at the clauses a new query just added:
+   without it VSIDS still reflects the previous queries' hot spots and the
+   solver wanders the shared CNF before touching the new cone.  Purely
+   heuristic — results are unaffected, only the branching order. *)
+let focus_vars s ext_vars =
+  List.iter
+    (fun ev ->
+      let v = ev - 1 in
+      if v >= 0 && v < s.nvars then bump_var s v)
+    ext_vars;
+  decay_activity s
 
 let enqueue s l reason =
   let v = lit_var l in
@@ -248,7 +382,8 @@ let backtrack s target_level =
         for i = s.trail_len - 1 downto lim do
           let v = lit_var s.trail.(i) in
           s.assign.(v) <- -1;
-          s.reason.(v) <- None
+          s.reason.(v) <- None;
+          heap_insert s v
         done;
         s.trail_len <- lim;
         s.trail_lim <- rest
@@ -256,8 +391,6 @@ let backtrack s target_level =
   s.qhead <- min s.qhead s.trail_len;
   s.qhead <- s.trail_len
 
-(* First-UIP conflict analysis.  Returns (learned clause lits with the
-   asserting literal first, backtrack level). *)
 let bump_clause s (c : clause) =
   if c.learnt then begin
     c.activity <- c.activity +. s.cla_inc;
@@ -267,6 +400,21 @@ let bump_clause s (c : clause) =
     end
   end
 
+(* Literal block distance of a learnt clause: the number of distinct
+   decision levels among its literals.  Low-LBD ("glue") clauses are the
+   ones worth keeping across solves. *)
+let compute_lbd s lits =
+  let levels = Hashtbl.create 8 in
+  List.iter
+    (fun l ->
+      let lv = s.level.(lit_var l) in
+      if lv > 0 then Hashtbl.replace levels lv ())
+    lits;
+  max 1 (Hashtbl.length levels)
+
+(* First-UIP conflict analysis.  Returns (learned clause lits with the
+   asserting literal first, backtrack level, learnt clauses traversed while
+   resolving — the candidates for on-the-fly subsumption). *)
 let analyze s conflict =
   let seen = Hashtbl.create 64 in
   let learnt = ref [] in
@@ -274,8 +422,10 @@ let analyze s conflict =
   let p = ref (-1) in
   let idx = ref (s.trail_len - 1) in
   let cur_level = decision_level s in
+  let traversed = ref [] in
   let reason_lits c skip =
     bump_clause s c;
+    if c.learnt then traversed := c :: !traversed;
     Array.to_list c.lits |> List.filter (fun l -> l <> skip)
   in
   let handle_lit q =
@@ -329,13 +479,51 @@ let analyze s conflict =
   let others = List.filter (fun l -> not (removable l)) !learnt in
   (* Backtrack level = max level among the other literals. *)
   let blevel = List.fold_left (fun acc l -> max acc s.level.(lit_var l)) 0 others in
-  (asserting :: others, blevel)
+  (asserting :: others, blevel, !traversed)
+
+(* On-the-fly subsumption: a freshly learnt clause that is a strict subset
+   of a learnt clause it was resolved against makes the larger clause
+   redundant.  Deleting it is sound — both are consequences of the CNF and
+   the smaller one is logically stronger.  Clauses locked as the reason of
+   a surviving assignment are skipped (their deletion would orphan the
+   implication graph); deletion itself is the usual lazy unhook. *)
+let subsume_on_the_fly s learnt_lits traversed =
+  let nl = List.length learnt_lits in
+  let in_learnt = Hashtbl.create 8 in
+  List.iter (fun l -> Hashtbl.replace in_learnt l ()) learnt_lits;
+  let is_locked c =
+    let v = lit_var c.lits.(0) in
+    s.assign.(v) >= 0 && s.reason.(v) == Some c
+  in
+  let dropped = ref 0 in
+  List.iter
+    (fun (c : clause) ->
+      if
+        (not c.deleted)
+        && Array.length c.lits > nl
+        && (not (is_locked c))
+        && List.for_all (fun l -> Array.exists (fun q -> q = l) c.lits) learnt_lits
+      then begin
+        c.deleted <- true;
+        s.n_learnts <- s.n_learnts - 1;
+        incr dropped
+      end)
+    traversed;
+  if !dropped > 0 then begin
+    s.learnts <- List.filter (fun (c : clause) -> not c.deleted) s.learnts;
+    Dfm_obs.Metrics.incr ~by:!dropped m_learnts_subsumed
+  end
 
 (* Watch lists are indexed by the watched literal itself and are visited
    by [propagate] when that literal becomes false. *)
 let attach_clause s c =
   s.watches.(c.lits.(0)) <- c :: s.watches.(c.lits.(0));
   s.watches.(c.lits.(1)) <- c :: s.watches.(c.lits.(1))
+
+let mk_clause s ~learnt ~activity ~lbd lits =
+  let cid = s.next_cid in
+  s.next_cid <- cid + 1;
+  { cid; lits; activity; learnt; lbd; deleted = false }
 
 let add_clause s ext_lits =
   if not s.unsat then begin
@@ -361,48 +549,97 @@ let add_clause s ext_lits =
           | 1 -> ()
           | _ ->
               enqueue s l None;
-              if propagate s <> None then s.unsat <- true)
-      | l0 :: l1 :: _ ->
-          let c = { lits = Array.of_list lits; activity = 0.0; learnt = false; deleted = false } in
-          ignore l0;
-          ignore l1;
+              if propagate s <> None then begin
+                s.unsat <- true;
+                (* the instance is dead: mark the queue drained so the
+                   between-solve invariants keep holding *)
+                s.qhead <- s.trail_len
+              end)
+      | _ ->
+          let c = mk_clause s ~learnt:false ~activity:0.0 ~lbd:0 (Array.of_list lits) in
           s.clauses <- c :: s.clauses;
           s.nclauses <- s.nclauses + 1;
           attach_clause s c
   end
 
-(* Variable order: recompute a sorted candidate list lazily.  For the CNF
-   sizes the ATPG produces (cone-limited miters) this simple strategy is
-   fast enough and much simpler than an indexed heap. *)
 let pick_branch_var s =
-  let best = ref (-1) in
-  let best_act = ref neg_infinity in
-  for v = 0 to s.nvars - 1 do
-    if s.assign.(v) < 0 && s.activity.(v) > !best_act then begin
-      best := v;
-      best_act := s.activity.(v)
-    end
+  let v = ref (heap_pop s) in
+  while !v >= 0 && s.assign.(!v) >= 0 do
+    v := heap_pop s
   done;
-  !best
+  !v
 
-(* Delete the low-activity half of the learned clauses.  Called only when
-   the trail is at the assumption level; clauses that are the reason for a
-   current assignment are kept (their deletion would orphan the implication
-   graph). *)
+(* Reduce the learnt store: keep binaries, glue clauses (LBD <= 2) and
+   clauses locked as reasons; of the rest, delete the worse half by
+   (LBD, activity).  Called only when the trail is at the assumption
+   level. *)
 let reduce_learnts s =
   let is_reason c =
     let v = lit_var c.lits.(0) in
     s.assign.(v) >= 0 && s.reason.(v) == Some c
   in
   let live = List.filter (fun (c : clause) -> not c.deleted) s.learnts in
-  let sorted = List.sort (fun (a : clause) (b : clause) -> compare a.activity b.activity) live in
+  let keep (c : clause) = is_reason c || c.lbd <= 2 || Array.length c.lits <= 2 in
+  let victims = List.filter (fun c -> not (keep c)) live in
+  let sorted =
+    List.sort
+      (fun (a : clause) (b : clause) ->
+        if a.lbd <> b.lbd then compare b.lbd a.lbd else compare a.activity b.activity)
+      victims
+  in
   let n = List.length sorted in
-  List.iteri
-    (fun i (c : clause) ->
-      if i < n / 2 && (not (is_reason c)) && Array.length c.lits > 2 then c.deleted <- true)
-    sorted;
-  s.learnts <- List.filter (fun (c : clause) -> not c.deleted) live;
-  s.n_learnts <- List.length s.learnts
+  List.iteri (fun i (c : clause) -> if i < n / 2 then c.deleted <- true) sorted;
+  let kept = List.filter (fun (c : clause) -> not c.deleted) live in
+  Dfm_obs.Metrics.incr ~by:(List.length kept) m_learnts_kept;
+  Dfm_obs.Metrics.incr ~by:(n / 2) m_learnts_dropped;
+  s.learnts <- kept;
+  s.n_learnts <- List.length kept
+
+(* Level-0 simplification (MiniSat's [simplify]): a clause satisfied by the
+   permanent level-0 assignment can never constrain the search again, but
+   left attached it is re-visited by [propagate] every time one of its
+   watched literals is falsified — for the rest of the session's life.
+   Retiring an activation group satisfies its whole guarded cone at once,
+   so a long incremental session without this sweep drags an ever-growing
+   tail of dead cones through every propagation.  Runs only when the trail
+   has grown since the last sweep (new permanent facts).  Reasons of
+   level-0 assignments are cleared first: permanent facts need no
+   justification, which makes deleting their reason clauses safe. *)
+let simplify s =
+  if
+    (not s.unsat) && decision_level s = 0
+    && s.qhead = s.trail_len
+    && s.trail_len > s.simplified_at
+  then begin
+    for i = 0 to s.trail_len - 1 do
+      s.reason.(lit_var s.trail.(i)) <- None
+    done;
+    let satisfied (c : clause) = Array.exists (fun l -> lvalue s l = 1) c.lits in
+    let sweep cs =
+      let removed = ref 0 in
+      let kept =
+        List.filter
+          (fun (c : clause) ->
+            if c.deleted then false
+            else if satisfied c then begin
+              c.deleted <- true;
+              incr removed;
+              false
+            end
+            else true)
+          cs
+      in
+      (kept, !removed)
+    in
+    let clauses, nc = sweep s.clauses in
+    s.clauses <- clauses;
+    s.nclauses <- s.nclauses - nc;
+    let learnts, nl = sweep s.learnts in
+    s.learnts <- learnts;
+    s.n_learnts <- s.n_learnts - nl;
+    Dfm_obs.Metrics.incr ~by:nl m_learnts_dropped;
+    s.simplified_at <- s.trail_len
+  end
 
 (* Luby sequence (1-based): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
 let rec luby i =
@@ -411,18 +648,51 @@ let rec luby i =
   if (1 lsl !k) - 1 = i then 1 lsl (!k - 1)
   else luby (i - (1 lsl (!k - 1)) + 1)
 
+(* Final-conflict analysis (Minisat's analyzeFinal): given the variables of
+   a conflict at or below the assumption levels, walk the implication graph
+   back to the subset of assumptions it depends on.  Variables forced with
+   no reason clause that are not assumptions (learnt units asserted at the
+   assumption level) are consequences of the CNF alone and contribute no
+   dependency. *)
+let analyze_final s ~assump_vars init_vars =
+  let seen = Hashtbl.create 16 in
+  List.iter (fun v -> if s.level.(v) > 0 then Hashtbl.replace seen v ()) init_vars;
+  let failed = ref [] in
+  for i = s.trail_len - 1 downto 0 do
+    let l = s.trail.(i) in
+    let v = lit_var l in
+    if Hashtbl.mem seen v then begin
+      (match s.reason.(v) with
+      | None -> if Hashtbl.mem assump_vars v then failed := ext_of_int l :: !failed
+      | Some c ->
+          Array.iter
+            (fun q ->
+              let qv = lit_var q in
+              if qv <> v && s.level.(qv) > 0 then Hashtbl.replace seen qv ())
+            c.lits);
+      Hashtbl.remove seen v
+    end
+  done;
+  !failed
+
 let solve_search ?(assumptions = []) ?(max_conflicts = max_int) s =
+  s.failed <- [];
   if s.unsat then Unsat
   else begin
     List.iter (fun l -> ensure_vars s (abs l)) assumptions;
-    let assumption_lits = List.map int_lit assumptions in
-    let n_assumptions = List.length assumption_lits in
+    let assumption_lits = Array.of_list (List.map int_lit assumptions) in
+    let n_assumptions = Array.length assumption_lits in
+    let assump_vars = Hashtbl.create 8 in
+    Array.iter (fun l -> Hashtbl.replace assump_vars (lit_var l) ()) assumption_lits;
     backtrack s 0;
     (match propagate s with
-    | Some _ -> s.unsat <- true
+    | Some _ ->
+        s.unsat <- true;
+        s.qhead <- s.trail_len (* dead instance: queue counts as drained *)
     | None -> ());
     if s.unsat then Unsat
     else begin
+      simplify s;
       let result = ref Unknown in
       let done_ = ref false in
       let restart_count = ref 0 in
@@ -435,8 +705,13 @@ let solve_search ?(assumptions = []) ?(max_conflicts = max_int) s =
             s.conflicts <- s.conflicts + 1;
             incr conflicts_this_restart;
             if decision_level s <= n_assumptions then begin
-              (* Conflict within (or below) the assumption levels. *)
-              if decision_level s = 0 then s.unsat <- true;
+              (* Conflict within (or below) the assumption levels: the
+                 assumptions themselves are contradicted. *)
+              if decision_level s = 0 then s.unsat <- true
+              else
+                s.failed <-
+                  analyze_final s ~assump_vars
+                    (Array.to_list (Array.map lit_var confl.lits));
               result := Unsat;
               done_ := true
             end
@@ -445,7 +720,8 @@ let solve_search ?(assumptions = []) ?(max_conflicts = max_int) s =
               done_ := true
             end
             else begin
-              let learnt, blevel = analyze s confl in
+              let learnt, blevel, traversed = analyze s confl in
+              let lbd = compute_lbd s learnt in
               let blevel = max blevel n_assumptions in
               backtrack s blevel;
               (match learnt with
@@ -468,11 +744,12 @@ let solve_search ?(assumptions = []) ?(max_conflicts = max_int) s =
                   let tmp = arr.(1) in
                   arr.(1) <- arr.(!hi);
                   arr.(!hi) <- tmp;
-                  let c = { lits = arr; activity = s.cla_inc; learnt = true; deleted = false } in
+                  let c = mk_clause s ~learnt:true ~activity:s.cla_inc ~lbd arr in
                   s.learnts <- c :: s.learnts;
                   s.n_learnts <- s.n_learnts + 1;
                   attach_clause s c;
-                  enqueue s l0 (Some c)
+                  enqueue s l0 (Some c);
+                  subsume_on_the_fly s learnt traversed
               | [ l0 ] -> enqueue s l0 None
               | [] ->
                   s.unsat <- true;
@@ -495,10 +772,14 @@ let solve_search ?(assumptions = []) ?(max_conflicts = max_int) s =
             end;
             (* Place assumptions first. *)
             if decision_level s < n_assumptions then begin
-              let l = List.nth assumption_lits (decision_level s) in
+              let l = assumption_lits.(decision_level s) in
               match lvalue s l with
               | 1 -> new_decision_level s (* already true: dummy level *)
               | 0 ->
+                  (* The assumption is already falsified by the others (or by
+                     the CNF): report which assumptions it depends on. *)
+                  s.failed <-
+                    ext_of_int l :: analyze_final s ~assump_vars [ lit_var l ];
                   result := Unsat;
                   done_ := true
               | _ ->
@@ -508,6 +789,8 @@ let solve_search ?(assumptions = []) ?(max_conflicts = max_int) s =
             else begin
               let v = pick_branch_var s in
               if v < 0 then begin
+                (* Total assignment: snapshot it before unwinding. *)
+                Array.blit s.assign 0 s.model 0 s.nvars;
                 result := Sat;
                 done_ := true
               end
@@ -518,6 +801,10 @@ let solve_search ?(assumptions = []) ?(max_conflicts = max_int) s =
               end
             end
       done;
+      (* Fully unwind: assumptions (and all search state above level 0)
+         never survive a solve.  SAT answers live on in [model]; UNSAT
+         dependency in [failed]. *)
+      backtrack s 0;
       !result
     end
   end
@@ -525,6 +812,7 @@ let solve_search ?(assumptions = []) ?(max_conflicts = max_int) s =
 let result_to_string = function Sat -> "sat" | Unsat -> "unsat" | Unknown -> "unknown"
 
 let solve ?assumptions ?max_conflicts s =
+  Dfm_util.Failpoint.hit "sat.solve";
   let c0 = s.conflicts and d0 = s.decisions and p0 = s.propagations in
   let flush () =
     let dc = s.conflicts - c0 and dd = s.decisions - d0 and dp = s.propagations - p0 in
@@ -548,8 +836,84 @@ let solve ?assumptions ?max_conflicts s =
 
 let value s v =
   if v < 1 || v > s.nvars then invalid_arg "Solver.value";
-  s.assign.(v - 1) = 1
+  s.model.(v - 1) = 1
 
 let lit_value s l = if l > 0 then value s l else not (value s (-l))
 
-let _ = ext_of_int
+let failed_assumptions s = s.failed
+
+let root_value s v =
+  if v < 1 || v > s.nvars then invalid_arg "Solver.root_value";
+  if s.assign.(v - 1) < 0 || s.level.(v - 1) > 0 then None
+  else Some (s.assign.(v - 1) = 1)
+
+let clause_exts (c : clause) = Array.to_list (Array.map ext_of_int c.lits)
+
+let learnt_clauses s =
+  List.filter_map
+    (fun (c : clause) -> if c.deleted then None else Some (clause_exts c))
+    s.learnts
+
+let level0_assignments s =
+  let out = ref [] in
+  for i = s.trail_len - 1 downto 0 do
+    let v = lit_var s.trail.(i) in
+    if s.level.(v) = 0 then out := ext_of_int s.trail.(i) :: !out
+  done;
+  !out
+
+(* Between-solve invariant audit; raises [Failure] with a description.
+   Checks that the trail is fully unwound, that assignment/trail/level
+   state is mutually consistent, and that every live clause of size >= 2
+   is watched on exactly its first two literals. *)
+let check_invariants s =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  if decision_level s <> 0 then fail "check_invariants: decision level %d" (decision_level s);
+  if s.qhead <> s.trail_len then
+    fail "check_invariants: qhead %d != trail length %d" s.qhead s.trail_len;
+  (* Trail vs assignment. *)
+  let on_trail = Hashtbl.create 64 in
+  for i = 0 to s.trail_len - 1 do
+    let l = s.trail.(i) in
+    let v = lit_var l in
+    if Hashtbl.mem on_trail v then fail "check_invariants: var %d twice on trail" (v + 1);
+    Hashtbl.add on_trail v ();
+    if lvalue s l <> 1 then fail "check_invariants: trail literal %d not true" (ext_of_int l);
+    if s.level.(v) <> 0 then
+      fail "check_invariants: var %d at level %d after unwind" (v + 1) s.level.(v)
+  done;
+  for v = 0 to s.nvars - 1 do
+    if s.assign.(v) >= 0 && not (Hashtbl.mem on_trail v) then
+      fail "check_invariants: var %d assigned but not on trail" (v + 1)
+  done;
+  (* Watch lists: every entry watches one of the clause's first two
+     literals; every live clause is watched exactly twice. *)
+  let watch_count = Hashtbl.create 256 in
+  Array.iteri
+    (fun l ws ->
+      List.iter
+        (fun (c : clause) ->
+          if not c.deleted then begin
+            if Array.length c.lits < 2 then
+              fail "check_invariants: watched clause #%d of size %d" c.cid
+                (Array.length c.lits);
+            if c.lits.(0) <> l && c.lits.(1) <> l then
+              fail "check_invariants: clause #%d watched on literal %d not in first two"
+                c.cid (ext_of_int l);
+            Hashtbl.replace watch_count c.cid
+              (1 + Option.value ~default:0 (Hashtbl.find_opt watch_count c.cid))
+          end)
+        ws)
+    s.watches;
+  let check_watched (c : clause) =
+    if not c.deleted then begin
+      let n = Option.value ~default:0 (Hashtbl.find_opt watch_count c.cid) in
+      if n <> 2 then fail "check_invariants: clause #%d has %d watch entries" c.cid n
+    end
+  in
+  List.iter check_watched s.clauses;
+  List.iter check_watched s.learnts;
+  (* Learnt bookkeeping. *)
+  let live = List.length (List.filter (fun (c : clause) -> not c.deleted) s.learnts) in
+  if live <> s.n_learnts then
+    fail "check_invariants: n_learnts %d but %d live learnt clauses" s.n_learnts live

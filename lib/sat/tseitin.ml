@@ -1,40 +1,49 @@
-let const_true s l = Solver.add_clause s [ l ]
-let const_false s l = Solver.add_clause s [ -l ]
+(* Every encoder takes an optional activation literal [?act]; when given,
+   each emitted clause is guarded as [¬act ∨ C], so the whole encoding is
+   active only while [act] is assumed (see [Incremental]). *)
 
-let equal s a b =
-  Solver.add_clause s [ -a; b ];
-  Solver.add_clause s [ a; -b ]
+let cl s act lits =
+  match act with
+  | None -> Solver.add_clause s lits
+  | Some a -> Solver.add_clause s (-a :: lits)
 
-let not_ s ~out a =
-  Solver.add_clause s [ -out; -a ];
-  Solver.add_clause s [ out; a ]
+let const_true ?act s l = cl s act [ l ]
+let const_false ?act s l = cl s act [ -l ]
 
-let and_ s ~out = function
-  | [] -> const_true s out
+let equal ?act s a b =
+  cl s act [ -a; b ];
+  cl s act [ a; -b ]
+
+let not_ ?act s ~out a =
+  cl s act [ -out; -a ];
+  cl s act [ out; a ]
+
+let and_ ?act s ~out = function
+  | [] -> const_true ?act s out
   | ins ->
-      List.iter (fun i -> Solver.add_clause s [ -out; i ]) ins;
-      Solver.add_clause s (out :: List.map (fun i -> -i) ins)
+      List.iter (fun i -> cl s act [ -out; i ]) ins;
+      cl s act (out :: List.map (fun i -> -i) ins)
 
-let or_ s ~out = function
-  | [] -> const_false s out
+let or_ ?act s ~out = function
+  | [] -> const_false ?act s out
   | ins ->
-      List.iter (fun i -> Solver.add_clause s [ out; -i ]) ins;
-      Solver.add_clause s (-out :: ins)
+      List.iter (fun i -> cl s act [ out; -i ]) ins;
+      cl s act (-out :: ins)
 
-let xor_ s ~out a b =
-  Solver.add_clause s [ -out; a; b ];
-  Solver.add_clause s [ -out; -a; -b ];
-  Solver.add_clause s [ out; -a; b ];
-  Solver.add_clause s [ out; a; -b ]
+let xor_ ?act s ~out a b =
+  cl s act [ -out; a; b ];
+  cl s act [ -out; -a; -b ];
+  cl s act [ out; -a; b ];
+  cl s act [ out; a; -b ]
 
-let mux s ~out ~sel a b =
+let mux ?act s ~out ~sel a b =
   (* sel = 0 -> out = a; sel = 1 -> out = b *)
-  Solver.add_clause s [ sel; -out; a ];
-  Solver.add_clause s [ sel; out; -a ];
-  Solver.add_clause s [ -sel; -out; b ];
-  Solver.add_clause s [ -sel; out; -b ]
+  cl s act [ sel; -out; a ];
+  cl s act [ sel; out; -a ];
+  cl s act [ -sel; -out; b ];
+  cl s act [ -sel; out; -b ]
 
-let of_truthtable s ~out ins tt =
+let of_truthtable ?act s ~out ins tt =
   let n = Dfm_logic.Truthtable.arity tt in
   if Array.length ins <> n then invalid_arg "Tseitin.of_truthtable";
   (* For each assignment, add a clause forcing [out] to the function value:
@@ -45,5 +54,5 @@ let of_truthtable s ~out ins tt =
       List.init n (fun k -> if (m lsr k) land 1 = 1 then -ins.(k) else ins.(k))
     in
     let v = Dfm_logic.Truthtable.eval_index tt m in
-    Solver.add_clause s ((if v then out else -out) :: antecedent)
+    cl s act ((if v then out else -out) :: antecedent)
   done

@@ -62,8 +62,19 @@ let balance aig ~outputs =
               | None -> l1
               | Some (_, l2) ->
                   let l = Aig.and_ fresh l1 l2 in
-                  Hashtbl.replace new_depth (Aig.node_of_lit l)
-                    (1 + max (depth_of_lit l1) (depth_of_lit l2));
+                  (* [Aig.and_] strashes and simplifies: it may hand back an
+                     existing node (whose true depth is already recorded) or
+                     an input/constant (depth 0) rather than a fresh AND.
+                     Only a genuinely new node gets the 1+max estimate —
+                     overwriting an existing node's depth would corrupt the
+                     heap ordering and let the rebuild come out deeper than
+                     the input. *)
+                  (match Aig.kind fresh (Aig.node_of_lit l) with
+                  | Aig.And _ ->
+                      if not (Hashtbl.mem new_depth (Aig.node_of_lit l)) then
+                        Hashtbl.replace new_depth (Aig.node_of_lit l)
+                          (1 + max (depth_of_lit l1) (depth_of_lit l2))
+                  | Aig.Const0 | Aig.Input _ -> ());
                   Dfm_util.Heap.push heap (float_of_int (depth_of_lit l)) l;
                   combine ())
         in

@@ -9,6 +9,7 @@ let () =
       ("properties", Test_properties.suite);
       ("logic", Test_logic.suite);
       ("sat", Test_sat.suite);
+      ("sat-incr", Test_sat_incr.suite);
       ("netlist", Test_netlist.suite);
       ("cellmodel", Test_cellmodel.suite);
       ("lint", Test_lint.suite);

@@ -142,10 +142,14 @@ let check_gate_encoding name encode semantics arity =
   done
 
 let test_tseitin_and () =
-  check_gate_encoding "and" Tseitin.and_ (List.for_all (fun b -> b)) 3
+  check_gate_encoding "and" (fun s ~out ins -> Tseitin.and_ s ~out ins)
+    (List.for_all (fun b -> b))
+    3
 
 let test_tseitin_or () =
-  check_gate_encoding "or" Tseitin.or_ (List.exists (fun b -> b)) 3
+  check_gate_encoding "or" (fun s ~out ins -> Tseitin.or_ s ~out ins)
+    (List.exists (fun b -> b))
+    3
 
 let test_tseitin_xor () =
   check_gate_encoding "xor"
