@@ -19,6 +19,8 @@
    REPRO_SAT_JSON writes the oneshot-vs-incremental SAT comparison
    (conflicts and wall time per mode) as JSON to a file;
    REPRO_LINT_JSON writes the lint section's JSON record to a file;
+   REPRO_SERVE_JSON writes the serve section's JSON record (daemon
+   jobs/sec plus request and queue-wait latency at 1 vs 3 tenants);
    REPRO_OBS_JSON writes the final observability metrics snapshot (every
    counter, gauge and histogram of the run) as JSON to a file. *)
 
@@ -30,7 +32,8 @@ module Circuits = Dfm_circuits.Circuits
 let sections =
   match Sys.getenv_opt "REPRO_SECTIONS" with
   | None ->
-      [ "table1"; "table2"; "fig2"; "ablation"; "choices"; "scaling"; "cache"; "lint"; "micro" ]
+      [ "table1"; "table2"; "fig2"; "ablation"; "choices"; "scaling"; "cache"; "lint";
+        "serve"; "micro" ]
   | Some s -> String.split_on_char ',' s |> List.map String.trim
 
 let wants s = List.mem s sections
@@ -619,6 +622,190 @@ let run_lint () =
       Printf.printf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
+(* Serve: campaign-service throughput and queue latency                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The daemon runs in-process (its network loop in one thread, bench
+   clients in others), which keeps the measurement loopback-only AND lets
+   the harness read the daemon's own queue-wait histogram straight from
+   the shared metrics registry instead of scraping Prometheus text. *)
+
+module Serve_daemon = Dfm_serve.Daemon
+module Serve_client = Dfm_serve.Client
+module Serve_proto = Dfm_serve.Protocol
+module Netlist_io = Dfm_netlist.Netlist_io
+module Parallel = Dfm_util.Parallel
+
+(* Nearest-rank percentile over a sorted array. *)
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(max 0 (min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1)))
+
+let queue_wait_buckets () =
+  Dfm_obs.Metrics.snapshot ()
+  |> List.find_map (fun m ->
+         if m.Dfm_obs.Metrics.name = "dfm_serve_queue_wait_ms" then
+           match m.Dfm_obs.Metrics.value with
+           | Dfm_obs.Metrics.Histogram { buckets; _ } -> Some buckets
+           | _ -> None
+         else None)
+  |> Option.value ~default:[||]
+
+(* p-th percentile of the queue wait from the cumulative log2 bucket
+   counts accumulated between two snapshots (upper bound of the first
+   bucket holding the rank; resolution is a factor of two). *)
+let bucket_percentile before after p =
+  let delta =
+    Array.mapi
+      (fun i (le, c) ->
+        let c0 = if i < Array.length before then snd before.(i) else 0 in
+        (le, c - c0))
+      after
+  in
+  let total = Array.fold_left (fun a (_, c) -> max a c) 0 delta in
+  if total = 0 then 0.0
+  else
+    let rank = int_of_float (ceil (p *. float_of_int total)) in
+    let rec find i = if snd delta.(i) >= rank then fst delta.(i) else find (i + 1) in
+    find 0
+
+let serve_submit sock ~client netlist_text =
+  match Serve_client.connect sock with
+  | Error e -> failwith ("serve bench: " ^ e)
+  | Ok c ->
+      Fun.protect
+        ~finally:(fun () -> Serve_client.close c)
+        (fun () ->
+          match
+            Serve_client.submit_and_wait c
+              Serve_proto.
+                {
+                  client;
+                  kind = Analyze;
+                  name = "bench";
+                  netlist = netlist_text;
+                  limits = { Serve_proto.no_limits with jobs = Some 2 };
+                  static_filter = false;
+                  sat_mode = None;
+                  q_max = None;
+                  p1 = None;
+                }
+          with
+          | Ok r when r.Serve_proto.r_outcome = "done" -> ()
+          | Ok r -> failwith ("serve bench: job outcome " ^ r.Serve_proto.r_outcome)
+          | Error e -> failwith ("serve bench: " ^ e))
+
+let serve_phase sock ~clients ~jobs_per_client netlist_text =
+  let lat = Array.make (clients * jobs_per_client) 0.0 in
+  let qw0 = queue_wait_buckets () in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init clients (fun ci ->
+        Thread.create
+          (fun () ->
+            for j = 0 to jobs_per_client - 1 do
+              let s = Unix.gettimeofday () in
+              serve_submit sock ~client:(Printf.sprintf "tenant%d" ci) netlist_text;
+              lat.((ci * jobs_per_client) + j) <- (Unix.gettimeofday () -. s) *. 1000.0
+            done)
+          ())
+  in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  let qw1 = queue_wait_buckets () in
+  Array.sort compare lat;
+  let jobs = clients * jobs_per_client in
+  ( float_of_int jobs /. wall,
+    percentile lat 0.50,
+    percentile lat 0.99,
+    bucket_percentile qw0 qw1 0.50,
+    bucket_percentile qw0 qw1 0.99 )
+
+let run_serve () =
+  header "Serve: campaign-service throughput and queue latency, 1 vs 3 tenants";
+  let tmp = Filename.temp_file "dfm_serve_bench" "" in
+  Sys.remove tmp;
+  Sys.mkdir tmp 0o755;
+  let sock =
+    (* sun_path is ~107 bytes; the system temp dir is short enough *)
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dfm_bench_%d.sock" (Unix.getpid ()))
+  in
+  let saved_jobs = Parallel.default_jobs () in
+  let ready_m = Mutex.create () and ready_c = Condition.create () in
+  let ready = ref false in
+  let daemon =
+    Thread.create
+      (fun () ->
+        ignore
+          (Serve_daemon.run
+             ~on_ready:(fun () ->
+               Mutex.lock ready_m;
+               ready := true;
+               Condition.signal ready_c;
+               Mutex.unlock ready_m)
+             {
+               Serve_daemon.socket_path = sock;
+               state_dir = Filename.concat tmp "state";
+               jobs = 2;
+             }))
+      ()
+  in
+  Mutex.lock ready_m;
+  while not !ready do
+    Condition.wait ready_c ready_m
+  done;
+  Mutex.unlock ready_m;
+  let netlist_text = Netlist_io.to_string (Circuits.build ~scale:0.15 "sparc_ffu") in
+  (* one cold job populates the shared verdict store; the measured phases
+     then exercise scheduling and protocol machinery on a warm cache, so
+     1-vs-3-tenant differences are queueing, not SAT variance *)
+  serve_submit sock ~client:"warmup" netlist_text;
+  let rows =
+    List.map
+      (fun clients ->
+        let jobs_per_client = 12 / clients in
+        let jps, p50, p99, q50, q99 =
+          serve_phase sock ~clients ~jobs_per_client netlist_text
+        in
+        Printf.printf
+          "  %d tenant(s)  %5.1f jobs/s   request p50 %6.1f ms  p99 %6.1f ms   queue wait p50 %5.0f ms  p99 %5.0f ms\n"
+          clients jps p50 p99 q50 q99;
+        (clients, clients * jobs_per_client, jps, p50, p99, q50, q99))
+      [ 1; 3 ]
+  in
+  (match Serve_client.connect sock with
+  | Ok c ->
+      (match Serve_client.request c Serve_proto.Drain with
+      | Ok _ | Error _ -> ());
+      Serve_client.close c
+  | Error e -> Printf.printf "  drain failed: %s\n" e);
+  Thread.join daemon;
+  Parallel.set_default_jobs saved_jobs;
+  let json =
+    Printf.sprintf "{\"section\":\"serve\",\"results\":[%s]}"
+      (String.concat ","
+         (List.map
+            (fun (clients, jobs, jps, p50, p99, q50, q99) ->
+              Printf.sprintf
+                "{\"clients\":%d,\"jobs\":%d,\"jobs_per_s\":%.2f,\
+                 \"latency_p50_ms\":%.2f,\"latency_p99_ms\":%.2f,\
+                 \"queue_p50_ms\":%.1f,\"queue_p99_ms\":%.1f}"
+                clients jobs jps p50 p99 q50 q99)
+            rows))
+  in
+  Printf.printf "serve-json: %s\n" json;
+  match Sys.getenv_opt "REPRO_SERVE_JSON" with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (json ^ "\n");
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one kernel per experiment                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -693,6 +880,7 @@ let () =
   if wants "scaling" then run_scaling ();
   if wants "cache" then run_cache ();
   if wants "lint" then run_lint ();
+  if wants "serve" then run_serve ();
   if wants "micro" then run_micro ();
   (* The oneshot-vs-incremental comparison piggybacks on the scaling and
      cache sections; REPRO_SAT_JSON snapshots it (computing it first if

@@ -317,9 +317,18 @@ let static_filter_arg =
   in
   Arg.(value & flag & info [ "static-filter" ] ~doc)
 
+let report_file_arg =
+  let doc =
+    "Also write the deterministic report (netlist summary, metrics, Table-I row, cluster \
+     sizes — exactly the bytes printed on stdout after the progress chatter) to $(docv).  \
+     The serve daemon returns the same bytes for an equivalent analyze job; the serve \
+     smoke test diffs the two."
+  in
+  Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+
 let analyze_cmd =
   let run name scale jobs cache_dir expect_hits max_conflicts static_filter sat_mode
-      failpoints trace metrics log_level progress =
+      failpoints report_file trace metrics log_level progress =
     apply_jobs jobs;
     apply_failpoints failpoints;
     let obs = apply_obs trace metrics log_level progress in
@@ -341,24 +350,26 @@ let analyze_cmd =
           es.Dfm_atpg.Atpg.retried es.Dfm_atpg.Atpg.rungs es.Dfm_atpg.Atpg.resolved
           es.Dfm_atpg.Atpg.residual
     | None -> ());
-    let m = Design.metrics d in
-    Fmt.pr "%a@." N.pp_summary nl;
-    Fmt.pr "%a@." Design.pp_metrics m;
-    let r = Report.table1_row ~name d in
-    Fmt.pr "@[<v>Table-I row:@,%a@,%a@]@." Report.pp_table1_header () Report.pp_table1_row r;
-    let clusters = d.Design.cluster.Dfm_core.Cluster.clusters in
-    Fmt.pr "clusters of undetectable faults (largest 8 of %d): %s@." (List.length clusters)
-      (String.concat " "
-         (List.filteri (fun i _ -> i < 8) clusters
-         |> List.map (fun c -> string_of_int (List.length c))));
+    let report = Report.analyze_report ~name d in
+    print_string report;
+    (match report_file with
+    | None -> ()
+    | Some path -> (
+        try
+          let oc = open_out path in
+          output_string oc report;
+          close_out oc
+        with Sys_error e ->
+          Fmt.epr "dfm_resynth: cannot write report %s: %s@." path e;
+          exit 2));
     report_cache ~expect_hits cache;
     finish_obs obs
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Implement a block and report its fault clustering.")
     Term.(
       const run $ circuit_arg $ scale_arg $ jobs_arg $ cache_dir_arg $ expect_hits_arg
-      $ max_conflicts_arg $ static_filter_arg $ sat_mode_arg $ failpoint_arg $ trace_arg
-      $ metrics_arg $ log_level_arg $ progress_arg)
+      $ max_conflicts_arg $ static_filter_arg $ sat_mode_arg $ failpoint_arg
+      $ report_file_arg $ trace_arg $ metrics_arg $ log_level_arg $ progress_arg)
 
 (* ---- lint ---- *)
 
@@ -605,6 +616,299 @@ let dump_cmd =
   Cmd.v (Cmd.info "dump" ~doc:"Write a generated block in the text netlist format.")
     Term.(const run $ circuit_arg $ scale_arg $ out)
 
+(* ---- serve: the campaign service ---- *)
+
+module Serve_daemon = Dfm_serve.Daemon
+module Serve_client = Dfm_serve.Client
+module Serve_proto = Dfm_serve.Protocol
+
+let socket_arg =
+  let doc = "Unix-domain socket of the campaign service." in
+  Arg.(
+    required & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let state_dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "state-dir" ] ~docv:"DIR"
+          ~doc:
+            "Daemon state: the job ledger, the shared verdict cache, and one checkpoint \
+             journal per resynthesis job.  Restarting on the same directory re-enqueues \
+             incomplete jobs and resumes their campaigns.")
+  in
+  let run socket state_dir jobs failpoints log_level =
+    apply_jobs jobs;
+    apply_failpoints failpoints;
+    Option.iter
+      (fun s ->
+        match Dfm_obs.Log.level_of_string s with
+        | Some l -> Dfm_obs.Log.set_level l
+        | None ->
+            Fmt.epr "dfm_resynth: --log-level %s: expected error, warn, info or debug@." s;
+            exit 2)
+      log_level;
+    let cfg =
+      {
+        Serve_daemon.socket_path = socket;
+        state_dir;
+        jobs = (match jobs with Some j -> j | None -> Dfm_util.Parallel.default_jobs ());
+      }
+    in
+    match Serve_daemon.run cfg with
+    | completed -> Fmt.pr "serve: drained after %d job(s)@." completed
+    | exception Serve_daemon.Startup_error msg ->
+        Fmt.epr "dfm_resynth: serve: %s@." msg;
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the campaign service: a daemon accepting concurrent analyze/resynth/lint \
+          jobs from multiple clients with fair-share scheduling over one shared verdict \
+          cache.  Job results are byte-identical to the equivalent one-shot run.")
+    Term.(
+      const run $ socket_arg $ state_dir $ jobs_arg $ failpoint_arg $ log_level_arg)
+
+let client_name_arg =
+  let doc = "Client (tenant) name for fair-share scheduling and cache accounting." in
+  Arg.(value & opt string "cli" & info [ "client" ] ~docv:"NAME" ~doc)
+
+let with_client socket f =
+  match Serve_client.connect socket with
+  | Error e ->
+      Fmt.epr "dfm_resynth: %s@." e;
+      exit 2
+  | Ok c ->
+      let r = f c in
+      Serve_client.close c;
+      r
+
+let submit_cmd =
+  let kind =
+    let kinds =
+      Arg.enum
+        [
+          ("analyze", Serve_proto.Analyze);
+          ("resynth", Serve_proto.Resynth);
+          ("lint", Serve_proto.Lint);
+        ]
+    in
+    Arg.(
+      value & opt kinds Serve_proto.Analyze
+      & info [ "kind" ] ~docv:"KIND" ~doc:"Job kind: analyze (default), resynth or lint.")
+  in
+  let max_seconds =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-seconds" ] ~docv:"S"
+          ~doc:
+            "Wall-clock limit; a resynthesis over it is stopped at the next design-point \
+             boundary (its journal is kept).")
+  in
+  let q_max =
+    Arg.(value & opt (some int) None & info [ "q-max" ] ~docv:"Q" ~doc:"Resynth: max delay/power increase, percent.")
+  in
+  let p1 =
+    Arg.(value & opt (some float) None & info [ "p1" ] ~docv:"P" ~doc:"Resynth: phase-1 cluster-size target, percent of |F|.")
+  in
+  let sat_mode_name =
+    Arg.(
+      value
+      & opt (some (Arg.enum [ ("incremental", "incremental"); ("oneshot", "oneshot") ])) None
+      & info [ "sat-mode" ] ~docv:"MODE" ~doc:"SAT engine for the job (daemon default otherwise).")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Resynth: write the returned final netlist to \\$(docv).")
+  in
+  let events =
+    Arg.(value & flag & info [ "events" ] ~doc:"Print streamed job events (log, progress) on stderr.")
+  in
+  let run name scale socket client kind jobs max_conflicts max_seconds static_filter
+      sat_mode q_max p1 report_file out events =
+    Option.iter
+      (fun j ->
+        if j < 1 then begin
+          Fmt.epr "dfm_resynth: --jobs must be at least 1 (got %d)@." j;
+          exit 2
+        end)
+      jobs;
+    let nl = build ?scale name in
+    let sub =
+      {
+        Serve_proto.client;
+        kind;
+        (* The job label is the argument verbatim: the report must be
+           byte-identical to `analyze <same-argument> --report`. *)
+        name;
+        netlist = Dfm_netlist.Netlist_io.to_string nl;
+        limits = { Serve_proto.jobs; max_conflicts; max_seconds };
+        static_filter;
+        sat_mode;
+        q_max;
+        p1;
+      }
+    in
+    let on_event ~job:_ ~stream ~data =
+      if events then Fmt.epr "[%s] %s@." stream data
+    in
+    with_client socket @@ fun c ->
+    match Serve_client.submit_and_wait ~on_event c sub with
+    | Error e ->
+        Fmt.epr "dfm_resynth: submit: %s@." e;
+        exit 2
+    | Ok r ->
+        print_string r.Serve_proto.r_report;
+        (match report_file with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            output_string oc r.Serve_proto.r_report;
+            close_out oc);
+        (match (out, r.Serve_proto.r_netlist) with
+        | Some path, Some text ->
+            let oc = open_out path in
+            output_string oc text;
+            close_out oc
+        | Some _, None -> Fmt.epr "submit: no netlist in result (kind %s)@."
+              (Serve_proto.kind_to_string kind)
+        | None, _ -> ());
+        if r.Serve_proto.r_outcome <> "done" then begin
+          Fmt.epr "dfm_resynth: job %s: %s@." r.Serve_proto.r_job r.Serve_proto.r_outcome;
+          exit 1
+        end
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit a job to a running campaign service and wait for its result.  The block \
+          is built (or read) locally and shipped inline; the report comes back \
+          byte-identical to the equivalent one-shot run.")
+    Term.(
+      const run $ circuit_arg $ scale_arg $ socket_arg $ client_name_arg $ kind $ jobs_arg
+      $ max_conflicts_arg $ max_seconds $ static_filter_arg $ sat_mode_name $ q_max $ p1
+      $ report_file_arg $ out $ events)
+
+let await_cmd =
+  let job = Arg.(required & pos 0 (some string) None & info [] ~docv:"JOB" ~doc:"Job id.") in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the job's final netlist (if any) to \\$(docv).")
+  in
+  let run socket job report_file out =
+    with_client socket @@ fun c ->
+    match Serve_client.await c job with
+    | Error e ->
+        Fmt.epr "dfm_resynth: await: %s@." e;
+        exit 2
+    | Ok r ->
+        print_string r.Serve_proto.r_report;
+        (match report_file with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            output_string oc r.Serve_proto.r_report;
+            close_out oc);
+        (match (out, r.Serve_proto.r_netlist) with
+        | Some path, Some text ->
+            let oc = open_out path in
+            output_string oc text;
+            close_out oc
+        | _ -> ());
+        if r.Serve_proto.r_outcome <> "done" then begin
+          Fmt.epr "dfm_resynth: job %s: %s@." r.Serve_proto.r_job r.Serve_proto.r_outcome;
+          exit 1
+        end
+  in
+  Cmd.v
+    (Cmd.info "await"
+       ~doc:
+         "Wait for a job's result by id — including a job resumed by a restarted daemon, \
+          whose submitting connection died with the previous process.")
+    Term.(const run $ socket_arg $ job $ report_file_arg $ out)
+
+let status_cmd =
+  let run socket =
+    with_client socket @@ fun c ->
+    match Serve_client.request c (Serve_proto.Status None) with
+    | Error e ->
+        Fmt.epr "dfm_resynth: status: %s@." e;
+        exit 2
+    | Ok (Serve_proto.Status_report { draining; jobs; clients }) ->
+        if draining then Fmt.pr "daemon: draining@.";
+        Fmt.pr "%-6s %-12s %-8s %-14s %-9s %s@." "job" "client" "kind" "name" "state" "detail";
+        List.iter
+          (fun (j : Serve_proto.job_view) ->
+            Fmt.pr "%-6s %-12s %-8s %-14s %-9s %s@." j.Serve_proto.jv_id
+              j.Serve_proto.jv_client
+              (Serve_proto.kind_to_string j.Serve_proto.jv_kind)
+              j.Serve_proto.jv_name
+              (Serve_proto.state_to_string j.Serve_proto.jv_state)
+              j.Serve_proto.jv_detail)
+          jobs;
+        List.iter
+          (fun (cv : Serve_proto.client_view) ->
+            Fmt.pr "client %s: %d job(s), %.2fs service, cache %d hits / %d misses@."
+              cv.Serve_proto.cv_client cv.Serve_proto.cv_jobs cv.Serve_proto.cv_service_s
+              cv.Serve_proto.cv_cache_hits cv.Serve_proto.cv_cache_misses)
+          clients
+    | Ok (Serve_proto.Error_msg m) ->
+        Fmt.epr "dfm_resynth: status: %s@." m;
+        exit 1
+    | Ok _ ->
+        Fmt.epr "dfm_resynth: status: unexpected response@.";
+        exit 2
+  in
+  Cmd.v (Cmd.info "status" ~doc:"Show the jobs and per-client accounts of a campaign service.")
+    Term.(const run $ socket_arg)
+
+let cancel_cmd =
+  let job = Arg.(required & pos 0 (some string) None & info [] ~docv:"JOB" ~doc:"Job id.") in
+  let run socket job =
+    with_client socket @@ fun c ->
+    match Serve_client.request c (Serve_proto.Cancel job) with
+    | Error e ->
+        Fmt.epr "dfm_resynth: cancel: %s@." e;
+        exit 2
+    | Ok Serve_proto.Ok_resp -> Fmt.pr "cancelled %s@." job
+    | Ok (Serve_proto.Error_msg m) ->
+        Fmt.epr "dfm_resynth: cancel: %s@." m;
+        exit 1
+    | Ok _ ->
+        Fmt.epr "dfm_resynth: cancel: unexpected response@.";
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "cancel"
+       ~doc:
+         "Cancel a job: a queued job immediately, a running resynthesis at its next \
+          design-point boundary (its journal is kept).")
+    Term.(const run $ socket_arg $ job)
+
+let drain_cmd =
+  let run socket =
+    with_client socket @@ fun c ->
+    match Serve_client.request c Serve_proto.Drain with
+    | Error e ->
+        Fmt.epr "dfm_resynth: drain: %s@." e;
+        exit 2
+    | Ok (Serve_proto.Drained { completed }) ->
+        Fmt.pr "drained: %d job(s) completed over the daemon's lifetime@." completed
+    | Ok (Serve_proto.Error_msg m) ->
+        Fmt.epr "dfm_resynth: drain: %s@." m;
+        exit 1
+    | Ok _ ->
+        Fmt.epr "dfm_resynth: drain: unexpected response@.";
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "drain"
+       ~doc:"Finish the queued jobs, refuse new ones, and shut the campaign service down.")
+    Term.(const run $ socket_arg)
+
 let () =
   let info =
     Cmd.info "dfm_resynth"
@@ -614,4 +918,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; cells_cmd; analyze_cmd; resynth_cmd; lint_cmd; ablate_cmd; paths_cmd;
-            verilog_cmd; dump_cmd ]))
+            verilog_cmd; dump_cmd; serve_cmd; submit_cmd; await_cmd; status_cmd; cancel_cmd;
+            drain_cmd ]))

@@ -264,3 +264,52 @@ let ablation ~name nl =
     }
   with Dfm_layout.Place.Does_not_fit _ ->
     { ab_circuit = name; removed; delay_rel = nan; power_rel = nan; fits = false }
+
+(* ---- deterministic report texts (CLI --report, serve daemon) ---- *)
+
+(* Byte-identical to what the analyze subcommand prints after its chatter:
+   the serve daemon returns this very string, and the serve smoke test
+   diffs daemon output against a one-shot `analyze --report` run. *)
+let analyze_report ~name (d : Design.t) =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  let m = Design.metrics d in
+  Format.fprintf ppf "%a@." N.pp_summary d.Design.netlist;
+  Format.fprintf ppf "%a@." Design.pp_metrics m;
+  let r = table1_row ~name d in
+  Format.fprintf ppf "@[<v>Table-I row:@,%a@,%a@]@." pp_table1_header () pp_table1_row r;
+  let clusters = d.Design.cluster.Cluster.clusters in
+  Format.fprintf ppf "clusters of undetectable faults (largest 8 of %d): %s@."
+    (List.length clusters)
+    (String.concat " "
+       (List.filteri (fun i _ -> i < 8) clusters
+       |> List.map (fun c -> string_of_int (List.length c))));
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+(* Resynthesis summary restricted to run-to-run reproducible facts: no
+   wall-clock, no cache-warmth-dependent numbers.  The kill/restart
+   resilience test compares this text across a mid-campaign SIGKILL, so the
+   accept chain must depend only on inputs. *)
+let resynth_report ~name (r : Resynth.result) =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  let m0 = Design.metrics r.Resynth.initial and m1 = Design.metrics r.Resynth.final in
+  Format.fprintf ppf "resynth %s: accepted %d step(s)@." name r.Resynth.accepted;
+  Format.fprintf ppf "original:      U=%d Smax=%d delay=%.3f power=%.3f@." m0.Design.u
+    m0.Design.s_max m0.Design.delay m0.Design.power;
+  Format.fprintf ppf "resynthesized: U=%d Smax=%d delay=%.3f power=%.3f@." m1.Design.u
+    m1.Design.s_max m1.Design.delay m1.Design.power;
+  List.iter
+    (fun (e : Resynth.event) ->
+      if e.Resynth.ev_action = "accept" || e.Resynth.ev_action = "backtrack-accept" then
+        Format.fprintf ppf "accept: q=%d phase=%d cell=%s action=%s U=%d Smax=%d@."
+          e.Resynth.ev_q e.Resynth.ev_phase
+          (Option.value e.Resynth.ev_cell ~default:"-")
+          e.Resynth.ev_action e.Resynth.ev_u e.Resynth.ev_smax)
+    r.Resynth.trace;
+  Format.fprintf ppf "final netlist hash: %s@."
+    (Dfm_incr.Hash64.to_hex
+       (Dfm_incr.Hash64.of_string (Dfm_netlist.Netlist_io.to_string r.Resynth.final.Design.netlist)));
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf

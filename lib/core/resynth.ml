@@ -87,6 +87,7 @@ type state = {
   sweep : bool;
   context_levels : int;
   log : string -> unit;
+  interrupt : unit -> unit;
 }
 
 let cache_hits_so_far st =
@@ -320,6 +321,7 @@ type candidate_outcome =
   | Implemented of int * Design.t  (* the candidate's internal count *)
 
 let evaluate st ~threshold ~region ~library =
+  st.interrupt ();
   match remap_opt st st.current.Design.netlist ~region ~library with
   | None -> None
   | Some nl when lint_regressed st nl -> None
@@ -487,6 +489,7 @@ let run_phase st ~q ~phase ~p1 ~p2 =
   let continue_ = ref true in
   while !continue_ do
     continue_ := false;
+    st.interrupt ();
     let d = st.current in
     let stop =
       match phase with
@@ -545,12 +548,13 @@ let checkpoint_header ~p1_percent ~q_max ~seed ~sweep ~context_levels ~max_confl
     (match max_conflicts with None -> "-" | Some c -> string_of_int c)
 
 let run ?(p1_percent = 1.0) ?(q_max = 5) ?(seed = 3) ?(sweep = true) ?(context_levels = 2)
-    ?cache ?max_conflicts ?escalation ?sat_mode ?checkpoint ?log initial =
+    ?cache ?max_conflicts ?escalation ?sat_mode ?checkpoint ?log ?interrupt initial =
   let sat_mode = match sat_mode with Some m -> m | None -> Atpg.default_sat_mode () in
   (* [?log] is the deprecated pre-logger callback: when given it still
      receives every campaign message verbatim; otherwise messages become
      [Dfm_obs.Log.info] records (dropped until a sink is installed). *)
   let log = match log with Some f -> f | None -> fun m -> Dfm_obs.Log.info m in
+  let interrupt = match interrupt with Some f -> f | None -> fun () -> () in
   Span.with_ "campaign" ~attrs:[ ("q_max", string_of_int q_max) ] @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let pool_retried0, pool_fellback0 = Dfm_util.Parallel.supervision_totals () in
@@ -613,6 +617,7 @@ let run ?(p1_percent = 1.0) ?(q_max = 5) ?(seed = 3) ?(sweep = true) ?(context_l
       sweep;
       context_levels;
       log;
+      interrupt;
     }
   in
   (* Replay the journal.  Rejected events are restored verbatim; each
@@ -665,6 +670,9 @@ let run ?(p1_percent = 1.0) ?(q_max = 5) ?(seed = 3) ?(sweep = true) ?(context_l
   st.conf0 <- conf0;
   st.dec0 <- dec0;
   st.prop0 <- prop0;
+  (* The interrupt hook aborts by raising; the journal must still be
+     closed so the campaign stays resumable from its last accept. *)
+  Fun.protect ~finally:(fun () -> Option.iter Checkpoint.close ckpt) @@ fun () ->
   for q = !resume_q to q_max do
     Span.with_ "q-step" ~attrs:[ ("q", string_of_int q) ] @@ fun () ->
     (* Never re-enter phase 1 of a q whose phase 2 already accepted: phase 1
@@ -679,7 +687,6 @@ let run ?(p1_percent = 1.0) ?(q_max = 5) ?(seed = 3) ?(sweep = true) ?(context_l
     in
     run_phase st ~q ~phase:2 ~p1:p1_percent ~p2
   done;
-  Option.iter Checkpoint.close ckpt;
   Progress.finish ();
   let pool_retried1, pool_fellback1 = Dfm_util.Parallel.supervision_totals () in
   let run_conflicts, run_decisions, run_propagations = run_effort st in

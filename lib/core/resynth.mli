@@ -101,6 +101,13 @@ val run :
   (* [?log] is deprecated: campaign messages now flow through
      {!Dfm_obs.Log} (as [Info] records) unless this shim is given, in which
      case it receives every message verbatim as before. *)
+  ?interrupt:(unit -> unit) ->
+  (* [?interrupt] is polled at every design-point boundary (each phase-loop
+     iteration and each candidate evaluation).  Raising from it aborts the
+     campaign there; the checkpoint journal is closed first, so a
+     checkpointed campaign cancelled this way resumes from its last accept.
+     The serve daemon implements job cancellation and wall-clock limits
+     with this hook. *)
   Design.t ->
   result
 (** [sweep] (default true) lets Synthesize() SAT-sweep the extracted

@@ -28,6 +28,12 @@ type stats = {
 }
 
 type t = {
+  lock : Mutex.t;
+      (* Serializes every public entry point.  The engine still consults
+         the store from its coordinating domain only, but the serve daemon
+         reads [stats] from its network thread while the executor thread
+         runs jobs — cross-thread reads of the mutable counters must not
+         tear.  Uncontended in the one-shot CLI, so the cost is noise. *)
   tbl : (int64, verdict) Hashtbl.t;
   order : int64 Queue.t;  (* insertion order, for FIFO eviction *)
   capacity : int;
@@ -155,6 +161,7 @@ let adopt t sg v =
 let create ?(capacity = 1_000_000) ?path ?(log = fun m -> Dfm_obs.Log.warn m) () =
   let t =
     {
+      lock = Mutex.create ();
       tbl = Hashtbl.create 4096;
       order = Queue.create ();
       capacity = max 1 capacity;
@@ -193,6 +200,7 @@ let create ?(capacity = 1_000_000) ?path ?(log = fun m -> Dfm_obs.Log.warn m) ()
   t
 
 let find t sg =
+  Mutex.protect t.lock @@ fun () ->
   match Hashtbl.find_opt t.tbl sg with
   | Some v ->
       t.hits <- t.hits + 1;
@@ -220,6 +228,7 @@ let append_record oc b =
   | None -> output_bytes oc b
 
 let add t sg v =
+  Mutex.protect t.lock @@ fun () ->
   if adopt t sg v then begin
     t.stores <- t.stores + 1;
     match t.chan with
@@ -232,9 +241,10 @@ let add t sg v =
         with e -> disable_disk t (Printexc.to_string e))
   end
 
-let mem_size t = Hashtbl.length t.tbl
+let mem_size t = Mutex.protect t.lock @@ fun () -> Hashtbl.length t.tbl
 
 let stats t =
+  Mutex.protect t.lock @@ fun () ->
   {
     hits = t.hits;
     misses = t.misses;
@@ -246,15 +256,18 @@ let stats t =
   }
 
 let hit_rate t =
+  Mutex.protect t.lock @@ fun () ->
   let n = t.hits + t.misses in
   if n = 0 then 0.0 else float_of_int t.hits /. float_of_int n
 
 let flush t =
+  Mutex.protect t.lock @@ fun () ->
   match t.chan with
   | None -> ()
   | Some oc -> ( try Stdlib.flush oc with e -> disable_disk t (Printexc.to_string e))
 
 let close t =
+  Mutex.protect t.lock @@ fun () ->
   match t.chan with
   | None -> ()
   | Some oc ->

@@ -14,8 +14,12 @@
     dropped the file is compacted from the surviving records before new
     appends, so the log is always well-framed afterwards.
 
-    Not thread-safe by design: the ATPG consults the store from its
-    coordinating domain only (see [Atpg.classify]), never from workers. *)
+    The engine consults the store from its coordinating domain only (see
+    [Atpg.classify]), never from workers.  Every public entry point is
+    nonetheless serialized by an internal mutex: the serve daemon reads
+    {!stats} from its network thread for status/metrics replies while the
+    executor thread runs jobs, and those cross-thread reads must see
+    consistent counters.  The mutex is uncontended in one-shot runs. *)
 
 type verdict = Detected | Undetectable
 

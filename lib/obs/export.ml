@@ -197,3 +197,29 @@ let metrics_json_string (metrics : Metrics.metric list) =
     metrics;
   Buffer.add_string buf "]}";
   Buffer.contents buf
+
+(* --- Live snapshots (serve daemon, mid-run exporters) -------------------- *)
+
+(* [Span.drain] consumes the recording buffers, so a naive mid-run export
+   would steal spans from the end-of-run one.  The retained list makes
+   snapshotting idempotent: every drain lands here first, and every
+   snapshot exports the whole accumulated history. *)
+let retained_spans : Span.event list ref = ref []
+
+let retained_mutex = Mutex.create ()
+
+let trace_events_now () =
+  Mutex.protect retained_mutex @@ fun () ->
+  let fresh = Span.drain () in
+  retained_spans := !retained_spans @ fresh;
+  !retained_spans
+
+let prometheus_now () = prometheus_string (Metrics.snapshot ())
+
+let snapshot_now ?trace ?metrics () =
+  (match trace with
+  | None -> ()
+  | Some path -> write_atomic path (chrome_trace_string (trace_events_now ())));
+  match metrics with
+  | None -> ()
+  | Some path -> write_atomic path (prometheus_now ())

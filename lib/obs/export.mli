@@ -28,3 +28,24 @@ val metrics_json_string : Metrics.metric list -> string
 
 val json_escape : string -> string
 (** Escape a string for inclusion inside JSON double quotes. *)
+
+(** {1 Live snapshots}
+
+    Mid-run exports for long-lived processes (the serve daemon serves
+    Prometheus text on request and can drop a trace while jobs are still
+    running).  Unlike the end-of-run writers above, these are idempotent:
+    {!Span.drain} consumes the span buffers, so [snapshot_now] retains
+    everything drained so far and each call exports the full history —
+    calling it twice in a row writes the same trace twice, it never loses
+    spans to an earlier snapshot. *)
+
+val trace_events_now : unit -> Span.event list
+(** Drain the span buffers into the retained history and return the whole
+    history.  Thread-safe. *)
+
+val prometheus_now : unit -> string
+(** The current metrics registry as Prometheus text exposition. *)
+
+val snapshot_now : ?trace:string -> ?metrics:string -> unit -> unit
+(** Write the current trace and/or metrics snapshot atomically to the
+    given paths.  Safe to call at any time, any number of times. *)

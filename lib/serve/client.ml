@@ -1,0 +1,51 @@
+type t = { fd : Unix.file_descr; dec : Frame.Decoder.t }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> Ok { fd; dec = Frame.Decoder.create () }
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message e))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send t req =
+  match Frame.write t.fd (Protocol.request_to_json req) with
+  | () -> Ok ()
+  | exception Sys_error e -> Error e
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let recv t =
+  match Frame.read t.dec t.fd with
+  | Error e -> Error e
+  | Ok payload -> Protocol.response_of_json payload
+
+let request t req =
+  match send t req with Error e -> Error e | Ok () -> recv t
+
+(* Stream until the job's terminal frame: events are forwarded, the
+   result ends the wait, a daemon-side rejection becomes [Error]. *)
+let wait_result ?(on_event = fun ~job:_ ~stream:_ ~data:_ -> ()) t =
+  let rec go () =
+    match recv t with
+    | Error e -> Error e
+    | Ok (Protocol.Event { job; stream; data }) ->
+        on_event ~job ~stream ~data;
+        go ()
+    | Ok (Protocol.Accepted _) -> go ()
+    | Ok (Protocol.Result p) -> Ok p
+    | Ok (Protocol.Error_msg m) -> Error m
+    | Ok _ -> Error "unexpected response while awaiting a job result"
+  in
+  go ()
+
+let submit_and_wait ?on_event t sub =
+  match send t (Protocol.Submit sub) with
+  | Error e -> Error e
+  | Ok () -> wait_result ?on_event t
+
+let await ?on_event t id =
+  match send t (Protocol.Await id) with
+  | Error e -> Error e
+  | Ok () -> wait_result ?on_event t

@@ -1,0 +1,33 @@
+(** Synchronous client for the campaign service.
+
+    One connection, blocking request/response.  Streamed [Event] frames
+    arriving while waiting for a submitted job's result are handed to the
+    [on_event] callback in arrival order. *)
+
+type t
+
+val connect : string -> (t, string) result
+(** Connect to the daemon's Unix-domain socket. *)
+
+val close : t -> unit
+
+val request : t -> Protocol.request -> (Protocol.response, string) result
+(** Send one request, return the first response frame.  [Error] is a
+    transport or protocol-framing failure (not a daemon [Error_msg] —
+    that arrives as [Ok (Error_msg _)]). *)
+
+val submit_and_wait :
+  ?on_event:(job:string -> stream:string -> data:string -> unit) ->
+  t ->
+  Protocol.submit ->
+  (Protocol.result_payload, string) result
+(** Submit a job and block until its [Result] frame, forwarding events.
+    A daemon-side rejection ([Error_msg]) is returned as [Error]. *)
+
+val await :
+  ?on_event:(job:string -> stream:string -> data:string -> unit) ->
+  t ->
+  string ->
+  (Protocol.result_payload, string) result
+(** Re-attach to a job by id (possibly submitted before a daemon restart)
+    and block until its result. *)

@@ -1,0 +1,821 @@
+module P = Protocol
+module Design = Dfm_core.Design
+module Resynth = Dfm_core.Resynth
+module Report = Dfm_core.Report
+module Metrics = Dfm_obs.Metrics
+module Log = Dfm_obs.Log
+
+type config = { socket_path : string; state_dir : string; jobs : int }
+
+exception Startup_error of string
+
+exception Cancelled_job
+
+exception Timed_out_job
+
+(* Daemon-level metrics: served live to any client via the [metrics]
+   request, alongside everything the engines record. *)
+let m_jobs =
+  Metrics.counter ~help:"Jobs completed by the serve daemon" "dfm_serve_jobs_total"
+
+let m_dropped_events =
+  Metrics.counter ~help:"Streamed event frames dropped to slow clients"
+    "dfm_serve_events_dropped_total"
+
+let m_queue_depth = Metrics.gauge ~help:"Jobs queued in the serve daemon" "dfm_serve_queue_depth"
+
+let m_connections = Metrics.gauge ~help:"Open serve connections" "dfm_serve_connections"
+
+let m_queue_wait =
+  Metrics.histogram ~help:"Queue wait per job, milliseconds" "dfm_serve_queue_wait_ms"
+
+(* A slow reader may lag; events are droppable once its buffer passes this,
+   result frames never are. *)
+let max_buffered_events = 1 lsl 20
+
+type conn = {
+  fd : Unix.file_descr;
+  dec : Frame.Decoder.t;
+  outq : string Queue.t;      (* encoded frames awaiting the socket *)
+  mutable out_off : int;      (* progress into the head of [outq] *)
+  mutable out_bytes : int;
+  mutable close_after_flush : bool;
+  mutable dead : bool;
+}
+
+type job = {
+  id : string;
+  sub : P.submit;
+  resume : bool;  (* restart re-attach: continue from the job's journal *)
+  submitted : float;
+  mutable state : P.job_state;
+  mutable detail : string;
+  mutable result : P.result_payload option;
+  mutable cancel : bool;
+  mutable started : float;
+  mutable watchers : conn list;
+}
+
+type account = {
+  mutable a_jobs : int;
+  mutable a_service : float;
+  mutable a_hits : int;
+  mutable a_misses : int;
+}
+
+type t = {
+  cfg : config;
+  mu : Mutex.t;
+  cond : Condition.t;         (* executor wakeup *)
+  listen_fd : Unix.file_descr;
+  wake_r : Unix.file_descr;   (* self-pipe: executor -> select loop *)
+  wake_w : Unix.file_descr;
+  conns : (Unix.file_descr, conn) Hashtbl.t;
+  jobs : (string, job) Hashtbl.t;
+  mutable job_order : string list;  (* reversed insertion order *)
+  sched : string Scheduler.t;
+  accounts : (string, account) Hashtbl.t;
+  mutable account_order : string list;  (* reversed *)
+  cache : Dfm_incr.Cache.t;
+  ledger : out_channel;
+  mutable next_id : int;
+  mutable running : job option;
+  mutable draining : bool;
+  mutable drain_watchers : conn list;
+  mutable shutdown : bool;
+  mutable completed : int;
+}
+
+let now () = Unix.gettimeofday ()
+
+let account d client =
+  match Hashtbl.find_opt d.accounts client with
+  | Some a -> a
+  | None ->
+      let a = { a_jobs = 0; a_service = 0.; a_hits = 0; a_misses = 0 } in
+      Hashtbl.add d.accounts client a;
+      d.account_order <- client :: d.account_order;
+      a
+
+let wake d =
+  try ignore (Unix.write d.wake_w (Bytes.make 1 '!') 0 1)
+  with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE), _, _) -> ()
+
+(* ---- outgoing frames (mu held) ---------------------------------------- *)
+
+let post ?(droppable = false) d conn resp =
+  if not conn.dead then begin
+    if droppable && conn.out_bytes > max_buffered_events then
+      Metrics.incr m_dropped_events
+    else begin
+      let frame = Frame.encode (P.response_to_json resp) in
+      Queue.add frame conn.outq;
+      conn.out_bytes <- conn.out_bytes + String.length frame;
+      wake d
+    end
+  end
+
+let post_watchers ?droppable d job resp =
+  job.watchers <- List.filter (fun c -> not c.dead) job.watchers;
+  List.iter (fun c -> post ?droppable d c resp) job.watchers
+
+(* ---- ledger ------------------------------------------------------------ *)
+
+(* Each record is one frame whose payload wraps a protocol message, so
+   replay reuses the protocol decoders and a torn tail from a kill lands on
+   the frame layer's checksum, exactly like a torn socket write. *)
+let ledger_append d (v : Wire.t) =
+  try
+    output_string d.ledger (Frame.encode (Wire.to_string v));
+    flush d.ledger
+  with Sys_error e -> Log.error (Printf.sprintf "serve: ledger append failed: %s" e)
+
+let ledger_submit d (j : job) =
+  ledger_append d
+    (Wire.Obj
+       [
+         ("rec", Wire.String "submit");
+         ("job", Wire.String j.id);
+         ("sub", Wire.String (P.request_to_json (P.Submit j.sub)));
+       ])
+
+let ledger_done d (j : job) (p : P.result_payload) =
+  ledger_append d
+    (Wire.Obj
+       [
+         ("rec", Wire.String "done");
+         ("job", Wire.String j.id);
+         ("res", Wire.String (P.response_to_json (P.Result p)));
+       ])
+
+(* ---- job lifecycle (mu held unless noted) ------------------------------ *)
+
+let job_ckpt_dir d id = Filename.concat (Filename.concat d.cfg.state_dir "jobs") id
+
+let register_job d (j : job) =
+  Hashtbl.add d.jobs j.id j;
+  d.job_order <- j.id :: d.job_order
+
+let finish_drain_if_idle d =
+  if d.draining && d.running = None && Scheduler.pending d.sched = 0 then begin
+    List.iter
+      (fun c -> if not c.dead then post d c (P.Drained { completed = d.completed }))
+      d.drain_watchers;
+    d.drain_watchers <- [];
+    d.shutdown <- true;
+    Condition.broadcast d.cond;
+    wake d
+  end
+
+let complete_job d (j : job) (p : P.result_payload) ~service =
+  j.state <-
+    (match p.P.r_outcome with
+    | "done" -> P.Done
+    | "cancelled" -> P.Cancelled
+    | "timeout" -> P.Failed
+    | _ -> P.Failed);
+  j.detail <- (if p.P.r_outcome = "done" then "" else p.P.r_outcome);
+  j.result <- Some p;
+  Scheduler.charge d.sched ~client:j.sub.P.client service;
+  let a = account d j.sub.P.client in
+  a.a_jobs <- a.a_jobs + 1;
+  a.a_service <- a.a_service +. service;
+  d.completed <- d.completed + 1;
+  Metrics.incr m_jobs;
+  ledger_done d j p;
+  post_watchers d j (P.Result p);
+  j.watchers <- [];
+  finish_drain_if_idle d;
+  wake d
+
+(* ---- the executor thread ----------------------------------------------- *)
+
+let sat_mode_of_string = function
+  | Some "incremental" -> Ok (Some Dfm_atpg.Atpg.Incremental)
+  | Some "oneshot" -> Ok (Some Dfm_atpg.Atpg.Oneshot)
+  | Some other -> Error (Printf.sprintf "unknown sat mode %S" other)
+  | None -> Ok None
+
+(* Runs without [mu]: everything here is engine work on state only this
+   thread touches.  The verdict-cache stats deltas around the run are the
+   per-client attribution. *)
+let execute d (j : job) =
+  let sub = j.sub in
+  let cap = match sub.P.limits.P.jobs with Some n -> n | None -> d.cfg.jobs in
+  Dfm_util.Parallel.set_default_jobs cap;
+  let max_conflicts = sub.P.limits.P.max_conflicts in
+  let escalation = Option.map (fun _ -> Dfm_atpg.Atpg.default_escalation) max_conflicts in
+  let deadline = Option.map (fun s -> j.started +. s) sub.P.limits.P.max_seconds in
+  let interrupt () =
+    if j.cancel then raise Cancelled_job;
+    match deadline with Some t when now () > t -> raise Timed_out_job | _ -> ()
+  in
+  let sat_mode =
+    match sat_mode_of_string sub.P.sat_mode with
+    | Ok (Some m) -> m
+    | Ok None -> Dfm_atpg.Atpg.default_sat_mode ()
+    | Error e -> failwith e
+  in
+  let nl =
+    Dfm_netlist.Netlist_io.read ~library:Dfm_cellmodel.Osu018.library sub.P.netlist
+  in
+  let cache = d.cache in
+  match sub.P.kind with
+  | P.Analyze ->
+      let static_filter = sub.P.static_filter in
+      let dsg =
+        Design.implement ~cache ~jobs:cap ?max_conflicts ?escalation ~static_filter
+          ~sat_mode nl
+      in
+      {
+        P.r_job = j.id;
+        r_outcome = "done";
+        r_report = Report.analyze_report ~name:sub.P.name dsg;
+        r_sat_queries = 0;
+        r_cache_hits = 0;  (* attributed below from the store deltas *)
+        r_accepted = 0;
+        r_netlist = None;
+      }
+  | P.Lint ->
+      let rep = Dfm_lint.Lint.check nl in
+      let text = Format.asprintf "%a" Dfm_lint.Lint.pp_text rep in
+      {
+        P.r_job = j.id;
+        r_outcome = "done";
+        r_report = text;
+        r_sat_queries = 0;
+        r_cache_hits = 0;
+        r_accepted = 0;
+        r_netlist = None;
+      }
+  | P.Resynth ->
+      let dir = job_ckpt_dir d j.id in
+      (try if not (Sys.file_exists dir) then Sys.mkdir dir 0o755 with Sys_error _ -> ());
+      let path = Filename.concat dir "campaign.ckpt" in
+      let checkpoint = { Resynth.path; resume = j.resume && Sys.file_exists path } in
+      let q_max = match sub.P.q_max with Some q -> q | None -> 5 in
+      let p1_percent = match sub.P.p1 with Some p -> p | None -> 1.0 in
+      let d0 = Design.implement ~cache ?max_conflicts ?escalation ~sat_mode nl in
+      interrupt ();
+      let r =
+        Resynth.run ~p1_percent ~q_max ~cache ?max_conflicts ?escalation ~sat_mode
+          ~checkpoint ~interrupt d0
+      in
+      {
+        P.r_job = j.id;
+        r_outcome = "done";
+        r_report = Report.resynth_report ~name:sub.P.name r;
+        r_sat_queries = r.Resynth.sat_queries;
+        r_cache_hits = r.Resynth.cache_hits;
+        r_accepted = r.Resynth.accepted;
+        r_netlist = Some (Dfm_netlist.Netlist_io.to_string r.Resynth.final.Design.netlist);
+      }
+
+let failed_payload (j : job) outcome detail =
+  {
+    P.r_job = j.id;
+    r_outcome = outcome;
+    r_report = detail;
+    r_sat_queries = 0;
+    r_cache_hits = 0;
+    r_accepted = 0;
+    r_netlist = None;
+  }
+
+let exec_one d (j : job) =
+  let t0 = now () in
+  Metrics.observe m_queue_wait (int_of_float ((t0 -. j.submitted) *. 1000.));
+  let stats0 = Dfm_incr.Cache.stats d.cache in
+  let payload =
+    match execute d j with
+    | p -> p
+    | exception Cancelled_job -> failed_payload j "cancelled" "cancelled by request"
+    | exception Timed_out_job ->
+        failed_payload j "timeout" "wall-clock limit reached (journal kept; resubmit resumes)"
+    | exception e -> failed_payload j "failed" (Printexc.to_string e)
+  in
+  let stats1 = Dfm_incr.Cache.stats d.cache in
+  let service = now () -. t0 in
+  Mutex.protect d.mu @@ fun () ->
+  let a = account d j.sub.P.client in
+  a.a_hits <- a.a_hits + (stats1.Dfm_incr.Store.hits - stats0.Dfm_incr.Store.hits);
+  a.a_misses <- a.a_misses + (stats1.Dfm_incr.Store.misses - stats0.Dfm_incr.Store.misses);
+  let payload =
+    if payload.P.r_outcome = "done" && payload.P.r_cache_hits = 0 then
+      { payload with P.r_cache_hits = stats1.Dfm_incr.Store.hits - stats0.Dfm_incr.Store.hits }
+    else payload
+  in
+  d.running <- None;
+  complete_job d j payload ~service
+
+let executor d =
+  let rec loop () =
+    let next =
+      Mutex.protect d.mu @@ fun () ->
+      let rec wait () =
+        if d.shutdown then None
+        else
+          match Scheduler.take d.sched with
+          | Some (_, id) ->
+              let j = Hashtbl.find d.jobs id in
+              j.state <- P.Running;
+              j.started <- now ();
+              d.running <- Some j;
+              Metrics.set m_queue_depth (Scheduler.pending d.sched);
+              Some j
+          | None ->
+              Condition.wait d.cond d.mu;
+              wait ()
+      in
+      wait ()
+    in
+    match next with
+    | None -> ()
+    | Some j ->
+        exec_one d j;
+        loop ()
+  in
+  loop ()
+
+(* ---- request handling (network thread, mu held) ------------------------ *)
+
+let job_views d =
+  List.rev_map
+    (fun id ->
+      let j = Hashtbl.find d.jobs id in
+      {
+        P.jv_id = j.id;
+        jv_client = j.sub.P.client;
+        jv_kind = j.sub.P.kind;
+        jv_name = j.sub.P.name;
+        jv_state = j.state;
+        jv_detail = j.detail;
+      })
+    d.job_order
+
+let client_views d =
+  List.rev_map
+    (fun client ->
+      let a = Hashtbl.find d.accounts client in
+      {
+        P.cv_client = client;
+        cv_jobs = a.a_jobs;
+        cv_service_s = a.a_service;
+        cv_cache_hits = a.a_hits;
+        cv_cache_misses = a.a_misses;
+      })
+    d.account_order
+
+let fresh_id d =
+  let id = Printf.sprintf "J%d" d.next_id in
+  d.next_id <- d.next_id + 1;
+  id
+
+let handle_submit d conn (sub : P.submit) =
+  if d.draining then post d conn (P.Error_msg "daemon is draining; not accepting jobs")
+  else
+    match sat_mode_of_string sub.P.sat_mode with
+    | Error e -> post d conn (P.Error_msg e)
+    | Ok _ when (match sub.P.limits.P.jobs with Some n -> n < 1 | None -> false) ->
+        post d conn (P.Error_msg "jobs limit must be at least 1")
+    | Ok _ ->
+        let j =
+          {
+            id = fresh_id d;
+            sub;
+            resume = false;
+            submitted = now ();
+            state = P.Pending;
+            detail = "";
+            result = None;
+            cancel = false;
+            started = 0.;
+            watchers = [ conn ];
+          }
+        in
+        register_job d j;
+        ledger_submit d j;
+        let position = Scheduler.submit d.sched ~client:sub.P.client j.id in
+        Metrics.set m_queue_depth (Scheduler.pending d.sched);
+        post d conn (P.Accepted { job = j.id; position });
+        Condition.broadcast d.cond
+
+let handle_request d conn payload =
+  match P.request_of_json payload with
+  | Error e ->
+      post d conn (P.Error_msg (Printf.sprintf "bad request: %s" e));
+      conn.close_after_flush <- true
+  | Ok (P.Submit sub) -> handle_submit d conn sub
+  | Ok (P.Status _) ->
+      post d conn
+        (P.Status_report
+           { draining = d.draining; jobs = job_views d; clients = client_views d })
+  | Ok (P.Await id) -> (
+      match Hashtbl.find_opt d.jobs id with
+      | None -> post d conn (P.Error_msg (Printf.sprintf "unknown job %s" id))
+      | Some j -> (
+          match j.result with
+          | Some p -> post d conn (P.Result p)
+          | None -> j.watchers <- conn :: j.watchers))
+  | Ok (P.Cancel id) -> (
+      match Hashtbl.find_opt d.jobs id with
+      | None -> post d conn (P.Error_msg (Printf.sprintf "unknown job %s" id))
+      | Some j -> (
+          match j.state with
+          | P.Pending ->
+              ignore (Scheduler.remove d.sched (fun jid -> jid = id) : string option);
+              Metrics.set m_queue_depth (Scheduler.pending d.sched);
+              complete_job d j (failed_payload j "cancelled" "cancelled while queued")
+                ~service:0.;
+              post d conn P.Ok_resp
+          | P.Running ->
+              (* Honoured at the campaign's next design-point boundary;
+                 analyze/lint jobs run to completion once started. *)
+              j.cancel <- true;
+              post d conn P.Ok_resp
+          | P.Done | P.Failed | P.Cancelled ->
+              post d conn (P.Error_msg (Printf.sprintf "job %s already finished" id))))
+  | Ok P.Drain ->
+      d.draining <- true;
+      d.drain_watchers <- conn :: d.drain_watchers;
+      finish_drain_if_idle d
+  | Ok P.Metrics -> post d conn (P.Metrics_text (Dfm_obs.Export.prometheus_now ()))
+  | Ok P.Ping -> post d conn P.Pong
+
+(* ---- connection I/O (network thread) ----------------------------------- *)
+
+let close_conn d conn =
+  if not conn.dead then begin
+    conn.dead <- true;
+    Hashtbl.remove d.conns conn.fd;
+    Metrics.set m_connections (Hashtbl.length d.conns);
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ())
+  end
+
+let pump_requests d conn =
+  let rec go () =
+    match Frame.Decoder.next conn.dec with
+    | Ok (Some payload) ->
+        Mutex.protect d.mu (fun () -> handle_request d conn payload);
+        go ()
+    | Ok None -> ()
+    | Error e ->
+        (* Fail closed: report the violation, then drop the connection.
+           The daemon itself keeps serving everyone else. *)
+        Mutex.protect d.mu (fun () ->
+            post d conn (P.Error_msg e);
+            conn.close_after_flush <- true)
+  in
+  go ()
+
+let on_readable d conn =
+  let buf = Bytes.create 65536 in
+  let rec go () =
+    match Unix.read conn.fd buf 0 (Bytes.length buf) with
+    | 0 -> Mutex.protect d.mu (fun () -> close_conn d conn)
+    | n ->
+        Frame.Decoder.feed conn.dec buf n;
+        pump_requests d conn;
+        go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        Mutex.protect d.mu (fun () -> close_conn d conn)
+  in
+  if not conn.dead then go ()
+
+let on_writable d conn =
+  Mutex.protect d.mu @@ fun () ->
+  let rec go () =
+    match Queue.peek_opt conn.outq with
+    | None -> if conn.close_after_flush then close_conn d conn
+    | Some head -> (
+        let len = String.length head - conn.out_off in
+        match Unix.write_substring conn.fd head conn.out_off len with
+        | n ->
+            conn.out_bytes <- conn.out_bytes - n;
+            if n = len then begin
+              ignore (Queue.pop conn.outq : string);
+              conn.out_off <- 0;
+              go ()
+            end
+            else conn.out_off <- conn.out_off + n
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+            close_conn d conn)
+  in
+  if not conn.dead then go ()
+
+let accept_conn d =
+  match Unix.accept d.listen_fd with
+  | fd, _ ->
+      Unix.set_nonblock fd;
+      let conn =
+        {
+          fd;
+          dec = Frame.Decoder.create ();
+          outq = Queue.create ();
+          out_off = 0;
+          out_bytes = 0;
+          close_after_flush = false;
+          dead = false;
+        }
+      in
+      Mutex.protect d.mu (fun () ->
+          Hashtbl.add d.conns fd conn;
+          Metrics.set m_connections (Hashtbl.length d.conns))
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+
+let serve_loop d =
+  let drain_wake () =
+    let buf = Bytes.create 256 in
+    let rec go () =
+      match Unix.read d.wake_r buf 0 256 with
+      | 256 -> go ()
+      | _ -> ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+    in
+    go ()
+  in
+  let finished = ref false in
+  while not !finished do
+    let reads, writes, done_ =
+      Mutex.protect d.mu @@ fun () ->
+      let conns = Hashtbl.fold (fun _ c acc -> c :: acc) d.conns [] in
+      let reads =
+        d.listen_fd :: d.wake_r
+        :: List.filter_map (fun c -> if c.dead then None else Some c.fd) conns
+      in
+      let writes =
+        List.filter_map
+          (fun c ->
+            if (not c.dead) && not (Queue.is_empty c.outq) then Some c.fd else None)
+          conns
+      in
+      let flushed =
+        List.for_all (fun c -> c.dead || Queue.is_empty c.outq) conns
+      in
+      (reads, writes, d.shutdown && flushed)
+    in
+    if done_ then finished := true
+    else begin
+      match Unix.select reads writes [] 1.0 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | rs, ws, _ ->
+          if List.mem d.wake_r rs then drain_wake ();
+          if List.mem d.listen_fd rs then accept_conn d;
+          List.iter
+            (fun fd ->
+              if fd <> d.listen_fd && fd <> d.wake_r then
+                match Hashtbl.find_opt d.conns fd with
+                | Some conn -> on_readable d conn
+                | None -> ())
+            rs;
+          List.iter
+            (fun fd ->
+              match Hashtbl.find_opt d.conns fd with
+              | Some conn -> on_writable d conn
+              | None -> ())
+            ws
+    end
+  done
+
+(* ---- startup: state dir, socket, ledger replay -------------------------- *)
+
+let ensure_dir path =
+  try
+    if not (Sys.file_exists path) then Sys.mkdir path 0o755;
+    if not (Sys.is_directory path) then
+      raise (Startup_error (Printf.sprintf "%s is not a directory" path))
+  with Sys_error e -> raise (Startup_error (Printf.sprintf "cannot create %s: %s" path e))
+
+(* A socket file may be a live daemon or a stale leftover from a kill; only
+   a connect can tell.  A live one is a startup error (duplicate daemon), a
+   stale one is unlinked and replaced. *)
+let claim_socket path =
+  if Sys.file_exists path then begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      try
+        Unix.connect probe (Unix.ADDR_UNIX path);
+        true
+      with Unix.Unix_error _ -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if live then
+      raise (Startup_error (Printf.sprintf "a daemon is already serving %s" path));
+    try Unix.unlink path
+    with Unix.Unix_error (e, _, _) ->
+      raise
+        (Startup_error
+           (Printf.sprintf "cannot remove stale socket %s: %s" path (Unix.error_message e)))
+  end;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind fd (Unix.ADDR_UNIX path);
+     Unix.listen fd 64
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise
+       (Startup_error
+          (Printf.sprintf "cannot listen on %s: %s" path (Unix.error_message e))));
+  fd
+
+let ledger_path state_dir = Filename.concat state_dir "ledger.bin"
+
+type replayed = {
+  rp_jobs : (string * job) list;  (* insertion order *)
+  rp_next_id : int;
+}
+
+let replay_ledger path ckpt_dir_of =
+  if not (Sys.file_exists path) then { rp_jobs = []; rp_next_id = 1 }
+  else begin
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let data = really_input_string ic len in
+    close_in ic;
+    let dec = Frame.Decoder.create () in
+    Frame.Decoder.feed dec (Bytes.of_string data) len;
+    let jobs = ref [] in
+    let next = ref 1 in
+    let torn = ref None in
+    let rec go () =
+      match Frame.Decoder.next dec with
+      | Ok None -> if Frame.Decoder.buffered dec > 0 then torn := Some "truncated tail"
+      | Error e -> torn := Some e
+      | Ok (Some payload) ->
+          (match Wire.parse payload with
+          | Error _ -> ()
+          | Ok v -> (
+              match Wire.str_field "rec" v with
+              | Some "submit" -> (
+                  match
+                    ( Wire.str_field "job" v,
+                      Option.bind (Wire.str_field "sub" v) (fun s ->
+                          Result.to_option (P.request_of_json s)) )
+                  with
+                  | Some id, Some (P.Submit sub) ->
+                      (match int_of_string_opt (String.sub id 1 (String.length id - 1)) with
+                      | Some n when n >= !next -> next := n + 1
+                      | _ -> ());
+                      let ckpt =
+                        Filename.concat (ckpt_dir_of id) "campaign.ckpt"
+                      in
+                      let j =
+                        {
+                          id;
+                          sub;
+                          resume = Sys.file_exists ckpt;
+                          submitted = now ();
+                          state = P.Pending;
+                          detail = "";
+                          result = None;
+                          cancel = false;
+                          started = 0.;
+                          watchers = [];
+                        }
+                      in
+                      jobs := (id, j) :: !jobs
+                  | _ -> ())
+              | Some "done" -> (
+                  match
+                    ( Wire.str_field "job" v,
+                      Option.bind (Wire.str_field "res" v) (fun s ->
+                          Result.to_option (P.response_of_json s)) )
+                  with
+                  | Some id, Some (P.Result p) -> (
+                      match List.assoc_opt id !jobs with
+                      | Some j ->
+                          j.result <- Some p;
+                          j.state <-
+                            (match p.P.r_outcome with
+                            | "done" -> P.Done
+                            | "cancelled" -> P.Cancelled
+                            | _ -> P.Failed);
+                          j.detail <- (if p.P.r_outcome = "done" then "" else p.P.r_outcome)
+                      | None -> ())
+                  | _ -> ())
+              | _ -> ()));
+          go ()
+    in
+    go ();
+    (match !torn with
+    | Some e -> Log.warn (Printf.sprintf "serve: ledger tail dropped (%s)" e)
+    | None -> ());
+    { rp_jobs = List.rev !jobs; rp_next_id = !next }
+  end
+
+(* Route engine observability to the watchers of whichever job is running.
+   The router drops nothing the engines rely on — logging is output-only —
+   and events to slow readers are droppable by policy. *)
+let install_obs_router d =
+  Log.set_level Log.Info;
+  Log.set_sink
+    (Some
+       (fun (r : Log.record) ->
+         Mutex.protect d.mu @@ fun () ->
+         match d.running with
+         | Some j ->
+             post_watchers ~droppable:true d j
+               (P.Event
+                  {
+                    job = j.id;
+                    stream = "log";
+                    data =
+                      Printf.sprintf "%s: %s" (Log.level_to_string r.Log.level) r.Log.message;
+                  })
+         | None -> ()));
+  Dfm_obs.Progress.set_enabled true;
+  Dfm_obs.Progress.set_output
+    (Some
+       (fun line ->
+         Mutex.protect d.mu @@ fun () ->
+         match d.running with
+         | Some j ->
+             post_watchers ~droppable:true d j
+               (P.Event { job = j.id; stream = "progress"; data = line })
+         | None -> ()))
+
+let run ?(on_ready = fun () -> ()) cfg =
+  ensure_dir cfg.state_dir;
+  ensure_dir (Filename.concat cfg.state_dir "jobs");
+  ensure_dir (Filename.concat cfg.state_dir "cache");
+  let listen_fd = claim_socket cfg.socket_path in
+  let ledger_file = ledger_path cfg.state_dir in
+  let replayed =
+    replay_ledger ledger_file (fun id ->
+        Filename.concat (Filename.concat cfg.state_dir "jobs") id)
+  in
+  let ledger =
+    try open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644 ledger_file
+    with Sys_error e ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      raise (Startup_error (Printf.sprintf "cannot open ledger: %s" e))
+  in
+  let cache =
+    Dfm_incr.Cache.create
+      ~dir:(Filename.concat cfg.state_dir "cache")
+      ~log:(fun s -> Log.info s)
+      ()
+  in
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  let d =
+    {
+      cfg = { cfg with jobs = max 1 cfg.jobs };
+      mu = Mutex.create ();
+      cond = Condition.create ();
+      listen_fd;
+      wake_r;
+      wake_w;
+      conns = Hashtbl.create 16;
+      jobs = Hashtbl.create 64;
+      job_order = [];
+      sched = Scheduler.create ();
+      accounts = Hashtbl.create 16;
+      account_order = [];
+      cache;
+      ledger;
+      next_id = replayed.rp_next_id;
+      running = None;
+      draining = false;
+      drain_watchers = [];
+      shutdown = false;
+      completed = 0;
+    }
+  in
+  (* Restart re-attach: completed jobs become awaitable history; incomplete
+     ones go straight back on the queue, resynth jobs with their journal. *)
+  List.iter
+    (fun (_, j) ->
+      register_job d j;
+      if j.result = None then ignore (Scheduler.submit d.sched ~client:j.sub.P.client j.id : int))
+    replayed.rp_jobs;
+  Metrics.set m_queue_depth (Scheduler.pending d.sched);
+  Dfm_util.Parallel.set_pool_floor d.cfg.jobs;
+  Dfm_util.Parallel.set_default_jobs d.cfg.jobs;
+  install_obs_router d;
+  let exec_thread = Thread.create executor d in
+  on_ready ();
+  serve_loop d;
+  Mutex.protect d.mu (fun () ->
+      d.shutdown <- true;
+      Condition.broadcast d.cond);
+  Thread.join exec_thread;
+  Mutex.protect d.mu (fun () ->
+      Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) d.conns;
+      Hashtbl.reset d.conns);
+  (try Unix.close d.listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  (try Unix.close wake_r with Unix.Unix_error _ -> ());
+  (try Unix.close wake_w with Unix.Unix_error _ -> ());
+  close_out_noerr d.ledger;
+  Dfm_incr.Cache.close d.cache;
+  Dfm_util.Parallel.set_pool_floor 0;
+  Log.set_sink None;
+  Dfm_obs.Progress.set_output None;
+  Dfm_obs.Progress.set_enabled false;
+  d.completed

@@ -1,0 +1,56 @@
+(** The campaign service: a long-running daemon accepting concurrent
+    analyze / resynth / lint jobs from multiple clients over a
+    Unix-domain socket.
+
+    Architecture (two threads, one worker pool):
+
+    - The {b network thread} (the caller of {!run}) owns the listening
+      socket and every connection: a [select] loop reads framed requests,
+      flushes buffered responses to writable sockets, and accepts new
+      clients.  It never runs engine code, so the daemon stays responsive
+      while a campaign grinds.
+    - The {b executor thread} runs jobs strictly one at a time — the
+      engines' coordinator state (verdict cache consultation, incremental
+      SAT sessions) is single-domain by design, so concurrency between
+      jobs lives in the {e queue}, not in the engines.  Each job's
+      classification still fans out over the shared {!Dfm_util.Parallel}
+      pool, capped by the job's [jobs] limit; {!Dfm_util.Parallel.set_pool_floor}
+      keeps that pool alive across jobs with different caps.
+    - Fair-share ordering between clients is {!Scheduler}'s: the pending
+      job of the least-served client runs next.
+
+    One verdict {!Dfm_incr.Cache} (backed by [<state>/cache/]) serves
+    every job of every client; per-client hit/miss deltas are accounted
+    around each job.  A second tenant analyzing the same block gets the
+    first tenant's verdicts for free — the cross-campaign cache-hit
+    assertion in the serve smoke test.
+
+    Durability: every accepted submit and every completion is appended to
+    [<state>/ledger.bin] as a {!Frame}-framed JSON record, and each
+    resynth job journals accepted design points to
+    [<state>/jobs/<id>/campaign.ckpt].  A daemon killed mid-campaign and
+    restarted on the same state dir re-enqueues the incomplete jobs and
+    resumes each resynth from its journal — same accepted ECO chain, same
+    final result, as the kill/restart test proves.
+
+    Determinism: a job's report is byte-identical to the equivalent
+    one-shot CLI run ([analyze --report], at any [jobs] value), because
+    both sides call the same {!Dfm_core.Report} builders on the same
+    engine results and sharding derives from the job's [jobs] parameter,
+    never from pool width. *)
+
+type config = {
+  socket_path : string;
+  state_dir : string;   (** ledger, shared verdict cache, per-job journals *)
+  jobs : int;           (** pool floor and default per-job worker cap *)
+}
+
+exception Startup_error of string
+(** Raised by {!run} before serving begins: another daemon owns the
+    socket, the state dir cannot be created, the ledger is unopenable.
+    The CLI maps it to exit 2. *)
+
+val run : ?on_ready:(unit -> unit) -> config -> int
+(** Serve until a [drain] request completes the queue.  [on_ready] fires
+    once the socket is listening (the in-process bench uses it).  Returns
+    the number of jobs completed over the daemon's lifetime. *)

@@ -1,0 +1,161 @@
+module Failpoint = Dfm_util.Failpoint
+module Hash64 = Dfm_incr.Hash64
+
+let magic = "DFS1"
+
+let header_len = 8 (* magic + u32le length *)
+
+let trailer_len = 8 (* u64le checksum *)
+
+let max_payload = 64 * 1024 * 1024
+
+let checksum payload = Hash64.of_string payload
+
+let put_u32le b off v =
+  Bytes.set b off (Char.chr (v land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b (off + 3) (Char.chr ((v lsr 24) land 0xff))
+
+let get_u32le s off =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+let put_u64le b off v =
+  for i = 0 to 7 do
+    Bytes.set b (off + i)
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xffL)))
+  done
+
+let get_u64le s off =
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code s.[off + i]))
+  done;
+  !v
+
+let encode payload =
+  let len = String.length payload in
+  if len = 0 then invalid_arg "Frame.encode: empty payload";
+  if len > max_payload then invalid_arg "Frame.encode: payload too large";
+  let b = Bytes.create (header_len + len + trailer_len) in
+  Bytes.blit_string magic 0 b 0 4;
+  put_u32le b 4 len;
+  Bytes.blit_string payload 0 b header_len len;
+  put_u64le b (header_len + len) (checksum payload);
+  Bytes.unsafe_to_string b
+
+let write_all fd s pos len =
+  let pos = ref pos and len = ref len in
+  while !len > 0 do
+    let n = Unix.write_substring fd s !pos !len in
+    pos := !pos + n;
+    len := !len - n
+  done
+
+(* The [serve.conn] site: a dropped connection is an [Io_error]; a torn
+   frame is a [Partial_write] that sends a strict prefix (half the frame,
+   at least one byte) before failing, so the peer's decoder sees exactly
+   what a connection dying mid-send leaves behind. *)
+let write fd payload =
+  let frame = encode payload in
+  match Failpoint.check "serve.conn" with
+  | Some Failpoint.Raise -> raise (Failpoint.Injected "serve.conn")
+  | Some Failpoint.Io_error -> raise (Sys_error "serve.conn: injected connection drop")
+  | Some Failpoint.Partial_write ->
+      let torn = max 1 (String.length frame / 2) in
+      write_all fd frame 0 torn;
+      raise (Sys_error "serve.conn: injected torn frame write")
+  | Some (Failpoint.Delay s) ->
+      Unix.sleepf s;
+      write_all fd frame 0 (String.length frame)
+  | None -> write_all fd frame 0 (String.length frame)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental decoder                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Decoder = struct
+  type t = {
+    buf : Buffer.t;
+    mutable consumed : int; (* prefix of [buf] already turned into frames *)
+    mutable failed : string option;
+  }
+
+  let create () = { buf = Buffer.create 4096; consumed = 0; failed = None }
+
+  let buffered t = Buffer.length t.buf - t.consumed
+
+  let feed t bytes n =
+    match t.failed with
+    | Some _ -> () (* fail closed: a poisoned connection accepts nothing *)
+    | None -> Buffer.add_subbytes t.buf bytes 0 n
+
+  (* Compact once the consumed prefix dominates, so a long-lived
+     connection does not grow its buffer without bound. *)
+  let compact t =
+    if t.consumed > 65536 && t.consumed * 2 > Buffer.length t.buf then begin
+      let rest = Buffer.sub t.buf t.consumed (buffered t) in
+      Buffer.clear t.buf;
+      Buffer.add_string t.buf rest;
+      t.consumed <- 0
+    end
+
+  let fail t msg =
+    t.failed <- Some msg;
+    Buffer.clear t.buf;
+    t.consumed <- 0;
+    Error msg
+
+  let next t =
+    match t.failed with
+    | Some msg -> Error msg
+    | None ->
+        let avail = buffered t in
+        if avail < header_len then Ok None
+        else begin
+          let contents = Buffer.contents t.buf in
+          let off = t.consumed in
+          if String.sub contents off 4 <> magic then
+            fail t "protocol error: bad frame magic"
+          else begin
+            let len = get_u32le contents (off + 4) in
+            if len <= 0 || len > max_payload then
+              fail t (Printf.sprintf "protocol error: bad frame length %d" len)
+            else if avail < header_len + len + trailer_len then Ok None
+            else begin
+              let payload = String.sub contents (off + header_len) len in
+              let expected = get_u64le contents (off + header_len + len) in
+              if not (Int64.equal (checksum payload) expected) then
+                fail t "protocol error: frame checksum mismatch"
+              else begin
+                t.consumed <- off + header_len + len + trailer_len;
+                compact t;
+                Ok (Some payload)
+              end
+            end
+          end
+        end
+end
+
+(* Blocking next-frame read for the synchronous client; the decoder is
+   per-connection so bytes past the returned frame survive the call. *)
+let read dec fd =
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    match Decoder.next dec with
+    | Error e -> Error e
+    | Ok (Some payload) -> Ok payload
+    | Ok None -> (
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 ->
+            if Decoder.buffered dec = 0 then Error "connection closed"
+            else Error "connection closed mid-frame"
+        | n ->
+            Decoder.feed dec chunk n;
+            go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+  in
+  go ()

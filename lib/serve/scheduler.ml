@@ -1,0 +1,140 @@
+type 'a entry = { seq : int; payload : 'a }
+
+type 'a client = {
+  name : string;
+  queue : 'a entry Queue.t;
+  mutable service : float;
+}
+
+type 'a t = {
+  tbl : (string, 'a client) Hashtbl.t;
+  mutable order : string list; (* first-submission order, reversed *)
+  mutable next_seq : int;
+}
+
+let create () = { tbl = Hashtbl.create 16; order = []; next_seq = 0 }
+
+let min_service t =
+  Hashtbl.fold (fun _ c acc -> min acc c.service) t.tbl infinity
+
+let get_client t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some c -> c
+  | None ->
+      let base = match min_service t with s when Float.is_finite s -> s | _ -> 0. in
+      let c = { name; queue = Queue.create (); service = base } in
+      Hashtbl.add t.tbl name c;
+      t.order <- name :: t.order;
+      c
+
+let clients t = List.rev t.order
+
+(* The dispatch rule: least accumulated service wins; among equals, the
+   client whose head job was submitted first.  Clients with empty queues
+   never compete. *)
+let pick_client t =
+  Hashtbl.fold
+    (fun _ c best ->
+      match Queue.peek_opt c.queue with
+      | None -> best
+      | Some head -> (
+          match best with
+          | None -> Some (c, head.seq)
+          | Some (bc, bseq) ->
+              if
+                c.service < bc.service
+                || (c.service = bc.service && head.seq < bseq)
+              then Some (c, head.seq)
+              else best))
+    t.tbl None
+
+let pending t = Hashtbl.fold (fun _ c acc -> acc + Queue.length c.queue) t.tbl 0
+
+(* Projected dispatch order, used only to report queue positions: simulate
+   [take] with a unit charge per dispatched job.  Deterministic, and exact
+   whenever jobs cost roughly alike. *)
+let projected_order t =
+  let snap =
+    Hashtbl.fold
+      (fun _ c acc ->
+        if Queue.is_empty c.queue then acc
+        else (ref c.service, ref (List.of_seq (Queue.to_seq c.queue))) :: acc)
+      t.tbl []
+  in
+  let order = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    let best =
+      List.fold_left
+        (fun best (service, q) ->
+          match !q with
+          | [] -> best
+          | head :: _ -> (
+              match best with
+              | None -> Some (service, q, head)
+              | Some (bs, _, bh) ->
+                  if !service < !bs || (!service = !bs && head.seq < bh.seq) then
+                    Some (service, q, head)
+                  else best))
+        None snap
+    in
+    match best with
+    | None -> continue_ := false
+    | Some (service, q, head) ->
+        order := head :: !order;
+        q := List.tl !q;
+        service := !service +. 1.
+  done;
+  List.rev !order
+
+let submit t ~client payload =
+  let c = get_client t client in
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Queue.add { seq; payload } c.queue;
+  let rec index i = function
+    | [] -> 0 (* unreachable: the job we just queued is in the order *)
+    | e :: rest -> if e.seq = seq then i else index (i + 1) rest
+  in
+  index 0 (projected_order t)
+
+let take t =
+  match pick_client t with
+  | None -> None
+  | Some (c, _) ->
+      let e = Queue.pop c.queue in
+      Some (c.name, e.payload)
+
+let charge t ~client seconds =
+  let c = get_client t client in
+  c.service <- c.service +. seconds
+
+let remove t pred =
+  let found = ref None in
+  Hashtbl.iter
+    (fun _ c ->
+      if
+        Option.is_none !found
+        && Queue.fold (fun acc e -> acc || pred e.payload) false c.queue
+      then begin
+        let keep = Queue.create () in
+        Queue.iter
+          (fun e ->
+            if Option.is_none !found && pred e.payload then found := Some e.payload
+            else Queue.add e keep)
+          c.queue;
+        Queue.clear c.queue;
+        Queue.transfer keep c.queue
+      end)
+    t.tbl;
+  !found
+
+let position t pred =
+  let rec index i = function
+    | [] -> None
+    | e :: rest -> if pred e.payload then Some i else index (i + 1) rest
+  in
+  index 0 (projected_order t)
+
+let service t ~client =
+  match Hashtbl.find_opt t.tbl client with Some c -> c.service | None -> 0.

@@ -1,0 +1,48 @@
+(** Fair-share job scheduling across tenants.
+
+    Pure bookkeeping, no threads: the daemon drives it under its own
+    mutex.  Each client owns a FIFO of pending jobs; the scheduler keeps a
+    running total of executor seconds each client has consumed, and
+    [take] dispatches the head job of the client with the least
+    accumulated service.  Ties break on submission order (earlier global
+    sequence number first), so dispatch is deterministic given the same
+    submission history — a property the fairness tests rely on.
+
+    A fresh client starts not at zero service but at the minimum service
+    among live clients, so a newcomer is served next without being owed
+    the whole history of the daemon's uptime (standard start-time
+    fair-queuing virtual-time trick). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val submit : 'a t -> client:string -> 'a -> int
+(** Enqueue a job for [client]; returns the queue position among all
+    pending jobs (0 = will be dispatched next). *)
+
+val take : 'a t -> (string * 'a) option
+(** Pop the next job to run: head of the least-served client's FIFO.
+    Returns the owning client with the job. *)
+
+val charge : 'a t -> client:string -> float -> unit
+(** Add [seconds] of executor service to [client]'s account.  Unknown
+    clients are created on the fly (restart replay charges clients whose
+    queues are empty). *)
+
+val remove : 'a t -> ('a -> bool) -> 'a option
+(** Remove and return the first pending job matching the predicate
+    (cancellation of a queued job).  [None] when nothing matches. *)
+
+val pending : 'a t -> int
+(** Total queued jobs across all clients. *)
+
+val position : 'a t -> ('a -> bool) -> int option
+(** Dispatch-order position of the first matching pending job
+    (0 = next), computed against current service accounts. *)
+
+val service : 'a t -> client:string -> float
+(** Accumulated service seconds for [client]; 0 if unknown. *)
+
+val clients : 'a t -> string list
+(** All clients ever seen, in first-submission order. *)

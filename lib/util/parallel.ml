@@ -263,13 +263,28 @@ let set_default_jobs j = chosen_jobs := Some (max 1 j)
 
 let at_exit_registered = ref false
 
+(* With a floor set, the global pool is grow-only: a request for fewer
+   workers than the pool has reuses it instead of shutting it down and
+   respawning domains.  The serve daemon multiplexes jobs with differing
+   per-job worker caps onto one pool this way.  Task sharding is derived
+   from the requested job count, never from the pool width, so a wider
+   pool leaves results bit-identical (extra workers simply idle). *)
+let pool_floor = ref 0
+
+let set_pool_floor n = pool_floor := max 0 n
+
 let get ?jobs () =
-  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let requested = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let floor = !pool_floor in
+  let reusable t =
+    (not (stopped t))
+    && (t.jobs = requested || (floor > 0 && t.jobs >= requested && t.jobs >= floor))
+  in
   match !default with
-  | Some t when t.jobs = jobs && not (stopped t) -> t
+  | Some t when reusable t -> t
   | prev ->
       Option.iter shutdown prev;
-      let t = create ~jobs in
+      let t = create ~jobs:(max requested floor) in
       default := Some t;
       if not !at_exit_registered then begin
         at_exit_registered := true;

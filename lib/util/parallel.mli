@@ -75,7 +75,17 @@ val set_default_jobs : int -> unit
 
 val get : ?jobs:int -> unit -> t
 (** The shared global pool, (re)sized to [jobs] (default {!default_jobs}).
-    Shut down automatically at exit. *)
+    Shut down automatically at exit.  With {!set_pool_floor} in force the
+    pool is grow-only: it is sized at least the floor and reused for any
+    smaller request rather than respawned. *)
+
+val set_pool_floor : int -> unit
+(** [set_pool_floor n] keeps the global pool at least [n] workers wide and
+    makes {!get} reuse it for requests of [n] or fewer jobs.  Used by the
+    serve daemon to multiplex jobs with differing per-job worker caps onto
+    one pool without domain churn.  Sharding is always derived from the
+    requested job count, so a wider pool never changes results.  [0]
+    (the default) restores exact-size semantics. *)
 
 val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** {!map} on the global pool. *)

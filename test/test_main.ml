@@ -26,4 +26,5 @@ let () =
       ("resynth", Test_resynth.suite);
       ("checkpoint", Test_checkpoint.suite);
       ("obs", Test_obs.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -297,6 +297,60 @@ let prop_transparency =
         [ 1; 4 ];
       true)
 
+(* Live snapshots must be idempotent: [Span.drain] consumes the buffers,
+   so [trace_events_now] retains drained history and every call exports
+   the full trace so far.  Calling [snapshot_now] twice in a row writes
+   identical artifacts; later spans extend the history without losing the
+   earlier events. *)
+let test_snapshot_now_idempotent () =
+  with_clean_obs @@ fun () ->
+  Span.set_enabled true;
+  Span.reset ();
+  Span.with_ "snap.outer" (fun () -> Span.with_ "snap.inner" Fun.id);
+  let e1 = Export.trace_events_now () in
+  let e2 = Export.trace_events_now () in
+  Alcotest.(check int) "second call repeats the history" (List.length e1)
+    (List.length e2);
+  Alcotest.(check bool) "history is non-empty" true (e1 <> []);
+  let dir = Filename.temp_file "dfm_snap" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let trace_a = Filename.concat dir "a.json"
+  and trace_b = Filename.concat dir "b.json"
+  and prom_a = Filename.concat dir "a.prom"
+  and prom_b = Filename.concat dir "b.prom" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun f -> try Sys.remove f with Sys_error _ -> ())
+        [ trace_a; trace_b; prom_a; prom_b ];
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () ->
+      let slurp f =
+        let ic = open_in_bin f in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      Export.snapshot_now ~trace:trace_a ~metrics:prom_a ();
+      Export.snapshot_now ~trace:trace_b ~metrics:prom_b ();
+      Alcotest.(check string) "back-to-back traces identical" (slurp trace_a)
+        (slurp trace_b);
+      Alcotest.(check string) "back-to-back metrics identical" (slurp prom_a)
+        (slurp prom_b);
+      (* a later span extends the exported history instead of replacing it *)
+      Span.with_ "snap.later" Fun.id;
+      let e3 = Export.trace_events_now () in
+      Alcotest.(check bool) "history grows" true (List.length e3 > List.length e2);
+      Export.snapshot_now ~trace:trace_a ();
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "new snapshot still contains the early span" true
+        (contains (slurp trace_a) "snap.outer"))
+
 let suite =
   [
     Alcotest.test_case "log levels, sink, would_log" `Quick test_log_levels;
