@@ -11,6 +11,7 @@
      scaling  — multicore fault classification at 1/2/4/8 domains
      cache    — resynthesis with/without the incremental verdict cache
      lint     — structural findings + static-untestability pre-SAT filter
+     certify  — certificate-checking overhead (proof bytes, check p50/p99)
      micro    — Bechamel timings of the per-experiment kernels
 
    REPRO_SCALE scales the generated blocks (default 1.0);
@@ -21,6 +22,8 @@
    REPRO_LINT_JSON writes the lint section's JSON record to a file;
    REPRO_SERVE_JSON writes the serve section's JSON record (daemon
    jobs/sec plus request and queue-wait latency at 1 vs 3 tenants);
+   REPRO_CERT_JSON writes the certify section's JSON record (checks,
+   proof bytes, check-latency percentiles, certified-run slowdown);
    REPRO_OBS_JSON writes the final observability metrics snapshot (every
    counter, gauge and histogram of the run) as JSON to a file. *)
 
@@ -33,7 +36,7 @@ let sections =
   match Sys.getenv_opt "REPRO_SECTIONS" with
   | None ->
       [ "table1"; "table2"; "fig2"; "ablation"; "choices"; "scaling"; "cache"; "lint";
-        "serve"; "micro" ]
+        "serve"; "certify"; "micro" ]
   | Some s -> String.split_on_char ',' s |> List.map String.trim
 
 let wants s = List.mem s sections
@@ -750,6 +753,7 @@ let run_serve () =
                Serve_daemon.socket_path = sock;
                state_dir = Filename.concat tmp "state";
                jobs = 2;
+               certify = false;
              }))
       ()
   in
@@ -798,6 +802,90 @@ let run_serve () =
   in
   Printf.printf "serve-json: %s\n" json;
   match Sys.getenv_opt "REPRO_SERVE_JSON" with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (json ^ "\n");
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
+(* Certify: overhead of end-to-end certificate checking                 *)
+(* ------------------------------------------------------------------ *)
+
+let cert_check_buckets () =
+  match Dfm_obs.Metrics.find_value "dfm_cert_check_ns" with
+  | Some (Dfm_obs.Metrics.Histogram { buckets; _ }) -> buckets
+  | _ -> [||]
+
+let run_certify () =
+  header "Certify: independent certificate checking, certified vs plain classification";
+  (* Timing histograms are gated off by default; the check-latency
+     percentiles need them on for the certified runs. *)
+  let was_timing = Dfm_obs.Metrics.timing_enabled () in
+  Dfm_obs.Metrics.set_timing_enabled true;
+  Fun.protect ~finally:(fun () -> Dfm_obs.Metrics.set_timing_enabled was_timing)
+  @@ fun () ->
+  let picks = List.filteri (fun i _ -> i < 2) circuits_subset in
+  let rows =
+    List.map
+      (fun name ->
+        let d = design_of name in
+        let nl = d.Design.netlist in
+        let faults = d.Design.fault_list.Dfm_guidelines.Translate.faults in
+        let timed f =
+          let t0 = Unix.gettimeofday () in
+          let r = f () in
+          (Unix.gettimeofday () -. t0, r)
+        in
+        let t_plain, plain = timed (fun () -> Dfm_atpg.Atpg.classify ~jobs:1 nl faults) in
+        let c0 = Dfm_sat.Cert.totals () in
+        let qw0 = cert_check_buckets () in
+        let t_cert, certified =
+          timed (fun () -> Dfm_atpg.Atpg.classify ~jobs:1 ~certify:true nl faults)
+        in
+        let qw1 = cert_check_buckets () in
+        let c1 = Dfm_sat.Cert.totals () in
+        let identical =
+          plain.Dfm_atpg.Atpg.status = certified.Dfm_atpg.Atpg.status
+          && plain.Dfm_atpg.Atpg.counts = certified.Dfm_atpg.Atpg.counts
+        in
+        let checks = c1.Dfm_sat.Cert.checked - c0.Dfm_sat.Cert.checked in
+        let failed = c1.Dfm_sat.Cert.failed - c0.Dfm_sat.Cert.failed in
+        let proof_bytes = c1.Dfm_sat.Cert.proof_bytes - c0.Dfm_sat.Cert.proof_bytes in
+        let p50 = bucket_percentile qw0 qw1 0.50 in
+        let p99 = bucket_percentile qw0 qw1 0.99 in
+        let slowdown = t_cert /. Float.max 1e-9 t_plain in
+        Printf.printf
+          "  %-11s %5d checks (%d failed)   proof %7d B   check p50 %7.1f us  p99 %7.1f us   %6.2fs -> %6.2fs (%.2fx)   bit-identical %b\n"
+          name checks failed proof_bytes (p50 /. 1e3) (p99 /. 1e3) t_plain t_cert slowdown
+          identical;
+        (name, Array.length faults, checks, failed, proof_bytes, p50, p99, t_plain, t_cert,
+         slowdown, identical))
+      picks
+  in
+  Printf.printf
+    "shape: every verdict checked, zero failures, verdicts bit-identical: %b\n"
+    (List.for_all
+       (fun (_, _, checks, failed, _, _, _, _, _, _, identical) ->
+         checks > 0 && failed = 0 && identical)
+       rows);
+  let json =
+    Printf.sprintf "{\"section\":\"certify\",\"results\":[%s]}"
+      (String.concat ","
+         (List.map
+            (fun (name, faults, checks, failed, proof_bytes, p50, p99, tp, tc, slowdown,
+                  identical) ->
+              Printf.sprintf
+                "{\"circuit\":\"%s\",\"faults\":%d,\"checks\":%d,\"failed\":%d,\
+                 \"proof_bytes\":%d,\"check_p50_ns\":%.0f,\"check_p99_ns\":%.0f,\
+                 \"seconds_plain\":%.6f,\"seconds_certified\":%.6f,\
+                 \"slowdown\":%.3f,\"identical\":%b}"
+                name faults checks failed proof_bytes p50 p99 tp tc slowdown identical)
+            rows))
+  in
+  Printf.printf "certify-json: %s\n" json;
+  match Sys.getenv_opt "REPRO_CERT_JSON" with
   | None -> ()
   | Some path ->
       let oc = open_out path in
@@ -881,6 +969,7 @@ let () =
   if wants "cache" then run_cache ();
   if wants "lint" then run_lint ();
   if wants "serve" then run_serve ();
+  if wants "certify" then run_certify ();
   if wants "micro" then run_micro ();
   (* The oneshot-vs-incremental comparison piggybacks on the scaling and
      cache sections; REPRO_SAT_JSON snapshots it (computing it first if

@@ -134,6 +134,37 @@ let max_conflicts_arg =
 let escalation_of max_conflicts =
   Option.map (fun _ -> Dfm_atpg.Atpg.default_escalation) max_conflicts
 
+let certify_arg =
+  let doc =
+    "Verify every emitted verdict against an independent certificate: Detected faults by \
+     re-simulating their witness test vector, Undetectable faults by replaying the \
+     solver's UNSAT proof through an independent unit-propagation checker, cache hits by \
+     their stored certificate mark, accepted ECOs by a checked equivalence proof.  \
+     Results are bit-identical to an uncertified run; a failed check aborts with exit 4.  \
+     Also enabled by \\$REPRO_CERTIFY=1."
+  in
+  Arg.(value & flag & info [ "certify" ] ~doc)
+
+let certify_enabled flag =
+  flag
+  ||
+  match Sys.getenv_opt "REPRO_CERTIFY" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+(* The certification summary goes to stderr: certified stdout must stay
+   byte-identical to the uncertified run's (the test suite diffs them). *)
+let report_certify certify =
+  if certify then begin
+    let t = Dfm_sat.Cert.totals () in
+    Fmt.epr "certify: %d certificate check(s), %d failed@." t.Dfm_sat.Cert.checked
+      t.Dfm_sat.Cert.failed
+  end
+
+let certify_failed msg =
+  Fmt.epr "dfm_resynth: certification failed: %s@." msg;
+  exit 4
+
 let sat_mode_arg =
   let doc =
     "SAT engine for the ATPG queries: $(b,incremental) (the default) keeps one persistent \
@@ -327,18 +358,21 @@ let report_file_arg =
   Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
 
 let analyze_cmd =
-  let run name scale jobs cache_dir expect_hits max_conflicts static_filter sat_mode
+  let run name scale jobs cache_dir expect_hits max_conflicts static_filter sat_mode certify
       failpoints report_file trace metrics log_level progress =
     apply_jobs jobs;
     apply_failpoints failpoints;
+    let certify = certify_enabled certify in
     let obs = apply_obs trace metrics log_level progress in
     let nl = build ?scale name in
     Fmt.pr "building and implementing %s (%d jobs) ...@." name
       (Dfm_util.Parallel.default_jobs ());
     let cache = make_cache cache_dir in
     let d =
-      Design.implement ?cache ?max_conflicts ?escalation:(escalation_of max_conflicts)
-        ~static_filter ~sat_mode nl
+      try
+        Design.implement ?cache ?max_conflicts ?escalation:(escalation_of max_conflicts)
+          ~static_filter ~sat_mode ~certify nl
+      with Dfm_sat.Cert.Check_failed msg -> certify_failed msg
     in
     if static_filter then
       Fmt.pr "static filter: %d fault(s) proven Undetectable before SAT@."
@@ -363,12 +397,13 @@ let analyze_cmd =
           Fmt.epr "dfm_resynth: cannot write report %s: %s@." path e;
           exit 2));
     report_cache ~expect_hits cache;
+    report_certify certify;
     finish_obs obs
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Implement a block and report its fault clustering.")
     Term.(
       const run $ circuit_arg $ scale_arg $ jobs_arg $ cache_dir_arg $ expect_hits_arg
-      $ max_conflicts_arg $ static_filter_arg $ sat_mode_arg $ failpoint_arg
+      $ max_conflicts_arg $ static_filter_arg $ sat_mode_arg $ certify_arg $ failpoint_arg
       $ report_file_arg $ trace_arg $ metrics_arg $ log_level_arg $ progress_arg)
 
 (* ---- lint ---- *)
@@ -471,9 +506,10 @@ let resynth_cmd =
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print accepted steps.") in
   let run name scale jobs cache_dir expect_hits q_max p1 out verbose max_conflicts sat_mode
-      failpoints checkpoint_dir resume trace metrics log_level progress =
+      certify failpoints checkpoint_dir resume trace metrics log_level progress =
     apply_jobs jobs;
     apply_failpoints failpoints;
+    let certify = certify_enabled certify in
     let obs = apply_obs trace metrics log_level progress in
     let checkpoint = make_checkpoint checkpoint_dir resume in
     let nl = build ?scale name in
@@ -485,15 +521,16 @@ let resynth_cmd =
          handler: with --checkpoint-dir, any injected or I/O death becomes
          a one-line "campaign aborted" + exit 2, never a backtrace. *)
       try
-        let d0 = Design.implement ?cache ?max_conflicts ?escalation ~sat_mode nl in
+        let d0 = Design.implement ?cache ?max_conflicts ?escalation ~sat_mode ~certify nl in
         Fmt.pr "original:      %a@." Design.pp_metrics (Design.metrics d0);
         (* -v keeps its historical behaviour through the deprecated [?log]
            shim; without it campaign messages flow through Dfm_obs.Log and
            appear at --log-level info. *)
         let log = if verbose then Some (fun s -> Fmt.pr "  %s@." s) else None in
         Resynth.run ~p1_percent:p1 ~q_max ?cache ?max_conflicts ?escalation ~sat_mode
-          ?checkpoint ?log d0
+          ~certify ?checkpoint ?log d0
       with
+      | Dfm_sat.Cert.Check_failed msg -> certify_failed msg
       | Dfm_core.Checkpoint.Error msg ->
           Fmt.epr "dfm_resynth: %s@." msg;
           exit 2
@@ -513,10 +550,14 @@ let resynth_cmd =
     let orig, resyn = Report.table2_rows ~name r in
     Fmt.pr "@[<v>Table-II rows:@,%a@,%a@,%a@]@." Report.pp_table2_header ()
       Report.pp_table2_row orig Report.pp_table2_row resyn;
-    (match Dfm_atpg.Equiv_sat.check nl r.Resynth.final.Design.netlist with
+    (match
+       try Dfm_atpg.Equiv_sat.check ~certify nl r.Resynth.final.Design.netlist
+       with Dfm_sat.Cert.Check_failed msg -> certify_failed msg
+     with
     | Dfm_atpg.Equiv_sat.Equivalent -> Fmt.pr "equivalence: PROVEN@."
     | Dfm_atpg.Equiv_sat.Different l -> Fmt.pr "equivalence: FAILED at %s@." l
     | Dfm_atpg.Equiv_sat.Interface_mismatch m -> Fmt.pr "equivalence: interface %s@." m);
+    report_certify certify;
     (match out with
     | None -> ()
     | Some path ->
@@ -531,7 +572,7 @@ let resynth_cmd =
        ~doc:"Run the two-phase resynthesis procedure of the paper on a block.")
     Term.(
       const run $ circuit_arg $ scale_arg $ jobs_arg $ cache_dir_arg $ expect_hits_arg $ q_max
-      $ p1 $ out $ verbose $ max_conflicts_arg $ sat_mode_arg $ failpoint_arg
+      $ p1 $ out $ verbose $ max_conflicts_arg $ sat_mode_arg $ certify_arg $ failpoint_arg
       $ checkpoint_dir_arg $ resume_arg $ trace_arg $ metrics_arg $ log_level_arg
       $ progress_arg)
 
@@ -638,9 +679,10 @@ let serve_cmd =
              journal per resynthesis job.  Restarting on the same directory re-enqueues \
              incomplete jobs and resumes their campaigns.")
   in
-  let run socket state_dir jobs failpoints log_level =
+  let run socket state_dir jobs certify failpoints log_level =
     apply_jobs jobs;
     apply_failpoints failpoints;
+    let certify = certify_enabled certify in
     Option.iter
       (fun s ->
         match Dfm_obs.Log.level_of_string s with
@@ -654,6 +696,7 @@ let serve_cmd =
         Serve_daemon.socket_path = socket;
         state_dir;
         jobs = (match jobs with Some j -> j | None -> Dfm_util.Parallel.default_jobs ());
+        certify;
       }
     in
     match Serve_daemon.run cfg with
@@ -669,7 +712,8 @@ let serve_cmd =
           jobs from multiple clients with fair-share scheduling over one shared verdict \
           cache.  Job results are byte-identical to the equivalent one-shot run.")
     Term.(
-      const run $ socket_arg $ state_dir $ jobs_arg $ failpoint_arg $ log_level_arg)
+      const run $ socket_arg $ state_dir $ jobs_arg $ certify_arg $ failpoint_arg
+      $ log_level_arg)
 
 let client_name_arg =
   let doc = "Client (tenant) name for fair-share scheduling and cache accounting." in

@@ -5,6 +5,7 @@ module Rng = Dfm_util.Rng
 module Parallel = Dfm_util.Parallel
 module Span = Dfm_obs.Span
 module Metrics = Dfm_obs.Metrics
+module Cert = Dfm_sat.Cert
 
 (* Escalation-ladder metrics (see [escalate]); registered up front so the
    family is always present in the exposition. *)
@@ -70,9 +71,16 @@ type state = {
   tf_init : bool array;   (* transition frame-1 covered *)
   tf_stuck : bool array;  (* transition frame-2 covered *)
   mutable sat_queries : int;
+  certify : bool;
+  witness : bool array list array;
+      (* certified mode only: per-fault detecting input patterns — the
+         random-simulation pattern that first detected the fault, or the
+         SAT models — re-verified by independent resimulation before the
+         Detected verdict is reported.  Written at the fault's own index
+         only, so shards stay disjoint. *)
 }
 
-let make_state nl faults =
+let make_state ?(certify = false) nl faults =
   let ls = Ls.prepare nl in
   {
     ls;
@@ -82,6 +90,8 @@ let make_state nl faults =
     tf_init = Array.make (Array.length faults) false;
     tf_stuck = Array.make (Array.length faults) false;
     sat_queries = 0;
+    certify;
+    witness = Array.make (max 1 (Array.length faults)) [];
   }
 
 let resolve s fid v = if s.st.(fid) = 0 then s.st.(fid) <- v
@@ -91,26 +101,50 @@ let unresolved_count s =
 
 let is_transition (f : F.t) = match f.F.kind with F.Transition _ -> true | _ -> false
 
+(* Bit index of the least significant set bit ([w <> 0L]). *)
+let lsb_bit w =
+  let b = ref 0 and x = ref w in
+  while Int64.logand !x 1L = 0L do
+    x := Int64.shift_right_logical !x 1;
+    incr b
+  done;
+  !b
+
 (* Apply the detection evidence of one simulated word restricted to bit
    [mask] (use [-1L] for all 64 bits).  [fs] is the caller's simulator
-   scratch — per worker in a parallel campaign. *)
-let apply_words s fs ~mask ~good fid =
+   scratch — per worker in a parallel campaign.  In certified mode the
+   pattern words are snapshotted as the fault's detection witness the first
+   time each detection condition is observed. *)
+let apply_words s fs ~words ~mask ~good fid =
   let f = s.faults.(fid) in
+  let snap w =
+    if s.certify && w <> 0L then
+      s.witness.(fid) <- Ls.pattern_of_words words (lsb_bit w) :: s.witness.(fid)
+  in
   if is_transition f then begin
     let dw = Int64.logand mask (Fs.detect_word fs ~good f) in
     let iw = Int64.logand mask (Fs.init_word fs ~good f) in
-    if dw <> 0L then s.tf_stuck.(fid) <- true;
-    if iw <> 0L then s.tf_init.(fid) <- true;
+    if dw <> 0L then begin
+      if not s.tf_stuck.(fid) then snap dw;
+      s.tf_stuck.(fid) <- true
+    end;
+    if iw <> 0L then begin
+      if not s.tf_init.(fid) then snap iw;
+      s.tf_init.(fid) <- true
+    end;
     if s.tf_stuck.(fid) && s.tf_init.(fid) then resolve s fid 1
   end
   else begin
     let dw = Int64.logand mask (Fs.detect_word fs ~good f) in
-    if dw <> 0L then resolve s fid 1
+    if dw <> 0L then begin
+      snap dw;
+      resolve s fid 1
+    end
   end
 
-let sim_range s fs ~good ~lo ~hi =
+let sim_range s fs ~words ~good ~lo ~hi =
   for fid = lo to hi - 1 do
-    if s.st.(fid) = 0 then apply_words s fs ~mask:(-1L) ~good fid
+    if s.st.(fid) = 0 then apply_words s fs ~words ~mask:(-1L) ~good fid
   done
 
 (* Process-wide wall time spent in the SAT phase (session setup, per-fault
@@ -136,16 +170,21 @@ let sat_range ?max_conflicts ~sat_mode s ~lo ~hi =
   let queries = ref 0 in
   let check =
     match sat_mode with
-    | Oneshot -> fun f -> Encode.check ?max_conflicts s.ls f
+    | Oneshot -> fun f -> Encode.check ~certify:s.certify ?max_conflicts s.ls f
     | Incremental ->
-        let sess = lazy (Encode.make_session s.ls) in
+        let sess = lazy (Encode.make_session ~certify:s.certify s.ls) in
         fun f -> Encode.check_incr ?max_conflicts (Lazy.force sess) f
   in
   for fid = lo to hi - 1 do
     if s.st.(fid) = 0 then begin
       incr queries;
       match check s.faults.(fid) with
-      | Encode.Tests _ -> s.st.(fid) <- 1
+      | Encode.Tests pats ->
+          (* Certified mode: the SAT models become the fault's witness,
+             re-verified by resimulation once the campaign quiesces. *)
+          if s.certify then
+            s.witness.(fid) <- List.map (fun (t : Encode.test) -> t.Encode.values) pats;
+          s.st.(fid) <- 1
       | Encode.Undetectable -> s.st.(fid) <- 2
       | Encode.Unknown -> s.st.(fid) <- 3
     end
@@ -154,6 +193,28 @@ let sat_range ?max_conflicts ~sat_mode s ~lo ~hi =
     (Atomic.fetch_and_add sat_nanos_total
        (Int64.to_int (Int64.sub (Dfm_obs.Clock.now_ns ()) t0)));
   !queries
+
+(* Certified mode: re-verify one Detected fault's witness patterns by
+   independent good/faulty resimulation through the coordinator's scratch
+   simulator.  Detection must reproduce (both frames, for transitions) or
+   the campaign fails loudly rather than report an unverified verdict. *)
+let verify_detected s fid =
+  let t0 = Dfm_obs.Clock.now_ns () in
+  let f = s.faults.(fid) in
+  let det = ref false and init = ref false in
+  List.iter
+    (fun pat ->
+      let good = Ls.run s.ls (Ls.words_of_pattern pat) in
+      if Fs.detect_word s.fs ~good f <> 0L then det := true;
+      if is_transition f && Fs.init_word s.fs ~good f <> 0L then init := true)
+    s.witness.(fid);
+  let ok = !det && ((not (is_transition f)) || !init) in
+  Cert.note_check ~ok ~ns:(Int64.sub (Dfm_obs.Clock.now_ns ()) t0);
+  if not ok then
+    raise
+      (Cert.Check_failed
+         (Printf.sprintf "witness for fault %d (%s) does not reproduce detection" fid
+            (F.describe (Ls.netlist s.ls) f)))
 
 let finish_counts s =
   let detected = ref 0 and undet = ref 0 and aborted = ref 0 in
@@ -196,7 +257,7 @@ let finish_counts s =
 let shard_bounds ~jobs nf = Parallel.chunk_bounds ~chunk:((nf + jobs - 1) / jobs) nf
 
 let classify ?(seed = 1) ?max_conflicts ?(random_blocks = 16) ?jobs ?cache ?static_filter
-    ?sat_mode nl faults =
+    ?sat_mode ?(certify = false) nl faults =
   Span.with_ "atpg.classify"
     ~attrs:[ ("faults", string_of_int (Array.length faults)) ]
   @@ fun () ->
@@ -207,7 +268,7 @@ let classify ?(seed = 1) ?max_conflicts ?(random_blocks = 16) ?jobs ?cache ?stat
     let j = match jobs with Some j -> j | None -> Parallel.default_jobs () in
     max 1 (min j (max 1 nf))
   in
-  let s = make_state nl faults in
+  let s = make_state ~certify nl faults in
   (* Static pre-SAT filter: faults the sound dataflow analysis proves
      Undetectable are decided here, in the coordinating domain, before the
      cache, the random-simulation prefilter and the SAT phase ever see
@@ -218,15 +279,34 @@ let classify ?(seed = 1) ?max_conflicts ?(random_blocks = 16) ?jobs ?cache ?stat
   (match static_filter with
   | None -> ()
   | Some prove ->
-      let n = ref 0 in
+      let proven = ref [] in
       Array.iteri
         (fun fid f ->
           if prove f then begin
             s.st.(fid) <- 2;
-            incr n
+            proven := fid :: !proven
           end)
         faults;
-      Metrics.incr ~by:!n m_static_filtered);
+      Metrics.incr ~by:(List.length !proven) m_static_filtered;
+      (* Certified mode: every Undetectable the filter claims is re-proven
+         by a certified SAT query on a verification-only (uncounted) session
+         — the independent checker replays each proof, so a filter
+         unsoundness surfaces as [Check_failed] here rather than as an
+         uncertified verdict in the report. *)
+      if certify && !proven <> [] then begin
+        let vs = Encode.make_session ~certify:true ~counted:false s.ls in
+        List.iter
+          (fun fid ->
+            match Encode.check_incr vs faults.(fid) with
+            | Encode.Undetectable -> ()
+            | Encode.Tests _ | Encode.Unknown ->
+                raise
+                  (Cert.Check_failed
+                     (Printf.sprintf "static filter claim not re-provable for fault %d (%s)"
+                        fid
+                        (F.describe nl faults.(fid)))))
+          (List.rev !proven)
+      end);
   (* Cache consultation happens here in the coordinating domain, before any
      worker is spawned, so the sharded phases see exactly the same disjoint
      per-fault work in every configuration and the jobs=N bit-identity
@@ -239,14 +319,22 @@ let classify ?(seed = 1) ?max_conflicts ?(random_blocks = 16) ?jobs ?cache ?stat
     | None -> [||]
     | Some c ->
         let sigs = Dfm_incr.Cache.signatures c ?max_conflicts nl faults in
+        (* In certified mode only entries published by a certified run (and
+           whose stored certificate mark validated on load) are trusted; the
+           digest validation is the cached verdict's certificate. *)
+        let find sg =
+          if certify then Dfm_incr.Cache.find_certified c sg else Dfm_incr.Cache.find c sg
+        in
         Array.iteri
           (fun fid sg ->
             if s.st.(fid) = 0 then
-              match Dfm_incr.Cache.find c sg with
+              match find sg with
               | Some Dfm_incr.Store.Detected ->
+                  if certify then Cert.note_check ~ok:true ~ns:0L;
                   cached.(fid) <- true;
                   s.st.(fid) <- 1
               | Some Dfm_incr.Store.Undetectable ->
+                  if certify then Cert.note_check ~ok:true ~ns:0L;
                   cached.(fid) <- true;
                   s.st.(fid) <- 2
               | None -> ())
@@ -260,8 +348,9 @@ let classify ?(seed = 1) ?max_conflicts ?(random_blocks = 16) ?jobs ?cache ?stat
     let left = ref (unresolved_count s) in
     while !blocks < random_blocks && !left > 0 do
       incr blocks;
-      let good = Ls.run s.ls (Ls.random_words s.ls rng) in
-      sim_range s s.fs ~good ~lo:0 ~hi:nf;
+      let words = Ls.random_words s.ls rng in
+      let good = Ls.run s.ls words in
+      sim_range s s.fs ~words ~good ~lo:0 ~hi:nf;
       left := unresolved_count s
     done;
     (* The query count is the number of faults entering the SAT phase
@@ -289,7 +378,8 @@ let classify ?(seed = 1) ?max_conflicts ?(random_blocks = 16) ?jobs ?cache ?stat
       incr blocks;
       (* Pattern words and the fault-free simulation are produced once by
          the coordinator, in the same order as the sequential path. *)
-      let good = Ls.run s.ls (Ls.random_words s.ls rng) in
+      let words = Ls.random_words s.ls rng in
+      let good = Ls.run s.ls words in
       ignore
         (Parallel.run_tasks_supervised pool
            (Array.mapi
@@ -297,7 +387,7 @@ let classify ?(seed = 1) ?max_conflicts ?(random_blocks = 16) ?jobs ?cache ?stat
                 Span.with_ "classify.shard"
                   ~attrs:
                     [ ("phase", "sim"); ("lo", string_of_int lo); ("hi", string_of_int hi) ]
-                  (fun () -> sim_range s shard_fs.(k) ~good ~lo ~hi))
+                  (fun () -> sim_range s shard_fs.(k) ~words ~good ~lo ~hi))
               bounds)
           : Parallel.supervision);
       left := unresolved_count s
@@ -314,6 +404,15 @@ let classify ?(seed = 1) ?max_conflicts ?(random_blocks = 16) ?jobs ?cache ?stat
             bounds)
         : Parallel.supervision)
   end;
+  (* Certified mode: every freshly detected fault's witness patterns are
+     re-verified by independent resimulation before the verdict is reported
+     or published.  Runs in the coordinating domain, in fault order, so the
+     check count and any failure are identical for every job count.  Cached
+     hits carry no patterns — their certificate is the validated digest. *)
+  if certify then
+    for fid = 0 to nf - 1 do
+      if s.st.(fid) = 1 && not cached.(fid) then verify_detected s fid
+    done;
   (* Publish the freshly derived verdicts (never the cached ones again, and
      never Aborted: an abort is a budget artifact, not a semantic fact). *)
   (match cache with
@@ -323,8 +422,8 @@ let classify ?(seed = 1) ?max_conflicts ?(random_blocks = 16) ?jobs ?cache ?stat
         (fun fid sg ->
           if not cached.(fid) then
             match s.st.(fid) with
-            | 1 -> Dfm_incr.Cache.record c sg Dfm_incr.Store.Detected
-            | 2 -> Dfm_incr.Cache.record c sg Dfm_incr.Store.Undetectable
+            | 1 -> Dfm_incr.Cache.record ~certified:certify c sg Dfm_incr.Store.Detected
+            | 2 -> Dfm_incr.Cache.record ~certified:certify c sg Dfm_incr.Store.Undetectable
             | _ -> ())
         sigs);
   finish_counts s
@@ -364,8 +463,8 @@ let no_escalation =
    (verdicts themselves are budget- and history-independent).  Runs
    entirely in the coordinating domain: abort sets are small and the cache
    (if any) must only ever be touched from here. *)
-let escalate ?(policy = default_escalation) ?cache ?sat_mode ~max_conflicts nl faults
-    (cls : classification) =
+let escalate ?(policy = default_escalation) ?cache ?sat_mode ?(certify = false) ~max_conflicts
+    nl faults (cls : classification) =
   if cls.counts.aborted = 0 then (cls, no_escalation)
   else begin
     Span.with_ "atpg.escalate"
@@ -378,7 +477,7 @@ let escalate ?(policy = default_escalation) ?cache ?sat_mode ~max_conflicts nl f
     for fid = nf - 1 downto 0 do
       if cls.status.(fid) = Aborted then pending := fid :: !pending
     done;
-    let s = make_state nl faults in
+    let s = make_state ~certify nl faults in
     Array.iteri
       (fun fid v ->
         s.st.(fid) <- (match v with Detected -> 1 | Undetectable -> 2 | Aborted -> 3))
@@ -393,16 +492,18 @@ let escalate ?(policy = default_escalation) ?cache ?sat_mode ~max_conflicts nl f
       | Some c -> Dfm_incr.Cache.signatures c ~max_conflicts nl faults
     in
     let publish fid v =
-      match cache with None -> () | Some c -> Dfm_incr.Cache.record c sigs.(fid) v
+      match cache with
+      | None -> ()
+      | Some c -> Dfm_incr.Cache.record ~certified:certify c sigs.(fid) v
     in
     (* One persistent session for the whole ladder: Unknown verdicts leave
        their activation groups pending, so the next rung re-solves them
        without re-encoding a single clause. *)
     let check =
       match sat_mode with
-      | Oneshot -> fun ~max_conflicts f -> Encode.check ~max_conflicts s.ls f
+      | Oneshot -> fun ~max_conflicts f -> Encode.check ~certify ~max_conflicts s.ls f
       | Incremental ->
-          let sess = Encode.make_session s.ls in
+          let sess = Encode.make_session ~certify s.ls in
           fun ~max_conflicts f -> Encode.check_incr ~max_conflicts sess f
     in
     let budget = ref max_conflicts in
@@ -427,7 +528,15 @@ let escalate ?(policy = default_escalation) ?cache ?sat_mode ~max_conflicts nl f
               effort := !effort + b;
               s.sat_queries <- s.sat_queries + 1;
               match check ~max_conflicts:b faults.(fid) with
-              | Encode.Tests _ ->
+              | Encode.Tests pats ->
+                  (* Certified mode: verify the witness right away — the
+                     ladder runs in the coordinating domain, so [s.fs] and
+                     [s.ls] are ours to use. *)
+                  if certify then begin
+                    s.witness.(fid) <-
+                      List.map (fun (t : Encode.test) -> t.Encode.values) pats;
+                    verify_detected s fid
+                  end;
                   s.st.(fid) <- 1;
                   incr resolved;
                   publish fid Dfm_incr.Store.Detected
@@ -462,16 +571,19 @@ let escalate ?(policy = default_escalation) ?cache ?sat_mode ~max_conflicts nl f
 
 let bit b w = Int64.logand (Int64.shift_right_logical w b) 1L = 1L
 
-let generate ?(seed = 1) ?max_conflicts ?sat_mode nl faults =
+let generate ?(seed = 1) ?max_conflicts ?sat_mode ?(certify = false) nl faults =
   let s = make_state nl faults in
   let sat_mode = match sat_mode with Some m -> m | None -> default_sat_mode () in
   (* Generation is sequential (coordinator only), so a single session can
-     serve every fault's query. *)
+     serve every fault's query.  In certified mode the session checks UNSAT
+     proofs and SAT models; detected faults are additionally witness-checked
+     by the per-word resimulation below (the existing cross-check), which in
+     certified mode escalates a miss from a counter to a hard failure. *)
   let sat_check =
     match sat_mode with
-    | Oneshot -> fun f -> Encode.check ?max_conflicts s.ls f
+    | Oneshot -> fun f -> Encode.check ~certify ?max_conflicts s.ls f
     | Incremental ->
-        let sess = lazy (Encode.make_session s.ls) in
+        let sess = lazy (Encode.make_session ~certify s.ls) in
         fun f -> Encode.check_incr ?max_conflicts (Lazy.force sess) f
   in
   let rng = Rng.create (seed + 177) in
@@ -563,11 +675,19 @@ let generate ?(seed = 1) ?max_conflicts ?sat_mode nl faults =
       | Encode.Tests pats ->
           List.iter (fun t -> apply_test t ~target:fid) pats;
           (* The SAT engine proved detectability; if simulation-based dropping
-             somehow missed the target, trust the proof but flag it. *)
+             somehow missed the target, trust the proof but flag it — except
+             in certified mode, where an unreproducible witness is fatal. *)
           if s.st.(fid) = 0 then begin
             incr cross_fail;
+            if certify then
+              raise
+                (Cert.Check_failed
+                   (Printf.sprintf
+                      "generated test for fault %d (%s) does not reproduce detection" fid
+                      (F.describe nl faults.(fid))));
             resolve s fid 1
           end
+          else if certify then Cert.note_check ~ok:true ~ns:0L
     end
   done;
   { classification = finish_counts s; tests = List.rev !tests; cross_check_failures = !cross_fail }

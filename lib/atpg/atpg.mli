@@ -83,10 +83,26 @@ val classify :
   ?cache:Dfm_incr.Cache.t ->
   ?static_filter:(Dfm_faults.Fault.t -> bool) ->
   ?sat_mode:sat_mode ->
+  ?certify:bool ->
   Dfm_netlist.Netlist.t ->
   Dfm_faults.Fault.t array ->
   classification
 (** [random_blocks] 64-pattern blocks precede the SAT phase (default 16).
+
+    [certify] (default [false]) makes every emitted verdict carry an
+    independently checked certificate: Detected verdicts keep their
+    detecting pattern (random-simulation witness or SAT model) and are
+    re-verified by good/faulty resimulation in the coordinating domain;
+    Undetectable verdicts from the SAT phase have their learnt-clause
+    proofs replayed through {!Dfm_sat.Cert.Check}; [static_filter] claims
+    are re-proven by certified SAT queries on an uncounted verification
+    session; and cache hits are restricted to entries published by a
+    certified run whose stored certificate mark validated.  A failed check
+    raises {!Dfm_sat.Cert.Check_failed} instead of returning.  The
+    classification (statuses and counts) is bit-identical to the
+    uncertified run — certification only adds checks, never changes a
+    verdict — and the check counts in {!Dfm_sat.Cert.totals} are
+    per-verdict, hence identical for every [jobs] value.
 
     [jobs] (default {!Dfm_util.Parallel.default_jobs}, i.e. [REPRO_JOBS] or
     the machine's domain count) shards the fault list over that many worker
@@ -149,6 +165,7 @@ val escalate :
   ?policy:escalation_policy ->
   ?cache:Dfm_incr.Cache.t ->
   ?sat_mode:sat_mode ->
+  ?certify:bool ->
   max_conflicts:int ->
   Dfm_netlist.Netlist.t ->
   Dfm_faults.Fault.t array ->
@@ -175,9 +192,14 @@ val generate :
   ?seed:int ->
   ?max_conflicts:int ->
   ?sat_mode:sat_mode ->
+  ?certify:bool ->
   Dfm_netlist.Netlist.t ->
   Dfm_faults.Fault.t array ->
   generation
+(** [certify] checks SAT models and UNSAT proofs exactly as in {!classify};
+    detected faults are witness-checked by the per-word resimulation that
+    generation performs anyway, with a cross-check miss escalated from a
+    counter to {!Dfm_sat.Cert.Check_failed}. *)
 
 val coverage : counts -> float
 (** The paper's [Cov = 1 - U/F], as a percentage. *)

@@ -4,6 +4,7 @@ module F = Dfm_faults.Fault
 module Solver = Dfm_sat.Solver
 module Tseitin = Dfm_sat.Tseitin
 module Incr = Dfm_sat.Incremental
+module Cert = Dfm_sat.Cert
 
 type test = { values : bool array; cared : bool array }
 
@@ -46,15 +47,28 @@ type ctx = {
   mutable locals : int list;   (* private vars of the query being encoded *)
   mutable touched : int list;  (* nets whose [faulty] slot the cone build set *)
   mutable qcone : cone_group option;  (* cone used by the query being encoded *)
+  cert : Cert.t option;
+      (* certification session attached to [sess]'s solver: every clause and
+         learnt step of this context is traced into it, and each query's
+         verdict is checked against it before being reported *)
 }
 
-let make_ctx ls =
+let make_ctx ?(certify = false) ?counted ls =
   let nl = Dfm_sim.Logic_sim.netlist ls in
   let is_observe = Array.make (N.num_nets nl) false in
   List.iter (fun (_, n) -> is_observe.(n) <- true) (Dfm_sim.Logic_sim.observes ls);
+  let sess = Incr.create ?counted () in
+  let cert =
+    if certify then begin
+      let c = Cert.create () in
+      Cert.attach c (Incr.solver sess);
+      Some c
+    end
+    else None
+  in
   {
     nl;
-    sess = Incr.create ();
+    sess;
     good = Array.make (N.num_nets nl) 0;
     faulty = Array.make (N.num_nets nl) 0;
     is_observe;
@@ -64,6 +78,7 @@ let make_ctx ls =
     locals = [];
     touched = [];
     qcone = None;
+    cert;
   }
 
 let solver ctx = Incr.solver ctx.sess
@@ -376,8 +391,15 @@ type session = {
          re-derive them, dropped once the fault's verdict is final. *)
 }
 
-let make_session ls =
-  { ctx = make_ctx ls; ls; pending = Hashtbl.create 64; results = Hashtbl.create 16 }
+let make_session ?certify ?counted ls =
+  {
+    ctx = make_ctx ?certify ?counted ls;
+    ls;
+    pending = Hashtbl.create 64;
+    results = Hashtbl.create 16;
+  }
+
+let session_certified sess = sess.ctx.cert <> None
 
 let session_solver sess = solver sess.ctx
 let session_stats sess = Incr.stats sess.ctx.sess
@@ -426,7 +448,14 @@ let run_part ?max_conflicts sess f idx encode =
         Hashtbl.remove sess.pending key
       in
       match part with
-      | None -> Undetectable
+      | None ->
+          (* Structurally unobservable — no difference point reaches an
+             observable net.  The cone construction just re-derived that
+             fact, so in certified mode it counts as a checked verdict. *)
+          (match sess.ctx.cert with
+          | Some _ -> Cert.note_check ~ok:true ~ns:0L
+          | None -> ());
+          Undetectable
       | Some ({ act; cone; locals } as p) -> (
           (* Point the branching heuristic at this query's variables — its
              own binding plus its cone: in a long-lived session VSIDS still
@@ -442,11 +471,25 @@ let run_part ?max_conflicts sess f idx encode =
           in
           match Incr.solve ?max_conflicts ~assumptions sess.ctx.sess ~act with
           | Solver.Sat ->
+              (* Certified mode: the reported model must satisfy every clause
+                 ever given to the solver — checked by replaying the raw
+                 clause trace, independent of the solver's own bookkeeping. *)
+              (match sess.ctx.cert with
+              | Some cert ->
+                  Cert.check_model cert ~assumptions:(act :: assumptions)
+                    ~value:(Solver.value (solver sess.ctx))
+              | None -> ());
               let t = extract_tests sess.ctx sess.ls in
               drop_part p;
               Hashtbl.replace sess.results key t;
               Tests [ t ]
           | Solver.Unsat ->
+              (* Certified mode: replay the learnt-clause proof through the
+                 independent checker; the Undetectable verdict stands only if
+                 unit propagation alone refutes the query's assumptions. *)
+              (match sess.ctx.cert with
+              | Some cert -> Cert.check_unsat cert ~assumptions:(act :: assumptions)
+              | None -> ());
               drop_part p;
               Undetectable
           | Solver.Unknown -> Unknown))
@@ -482,4 +525,5 @@ let check_incr ?max_conflicts sess (f : F.t) =
       finish (run_part ?max_conflicts sess f 0 (encode_internal g entry_idx))
 
 (* One-shot compatibility entry point: a throwaway session per fault. *)
-let check ?max_conflicts ls (f : F.t) = check_incr ?max_conflicts (make_session ls) f
+let check ?certify ?max_conflicts ls (f : F.t) =
+  check_incr ?max_conflicts (make_session ?certify ls) f

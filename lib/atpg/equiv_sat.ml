@@ -3,6 +3,7 @@ module Cell = Dfm_netlist.Cell
 module Solver = Dfm_sat.Solver
 module Tseitin = Dfm_sat.Tseitin
 module Incr = Dfm_sat.Incremental
+module Cert = Dfm_sat.Cert
 
 type verdict =
   | Equivalent
@@ -34,15 +35,23 @@ let encode solver t var_of_label =
     (N.topo_order t);
   vars
 
-let check t1 t2 =
+let check ?(certify = false) ?counted t1 t2 =
   let labels l = List.map fst l |> List.sort compare in
   let in1 = labels (N.input_nets t1) and in2 = labels (N.input_nets t2) in
   let out1 = labels (N.observe_nets t1) and out2 = labels (N.observe_nets t2) in
   if in1 <> in2 then Interface_mismatch "inputs"
   else if out1 <> out2 then Interface_mismatch "outputs"
   else begin
-    let sess = Incr.create () in
+    let sess = Incr.create ?counted () in
     let solver = Incr.solver sess in
+    let cert =
+      if certify then begin
+        let c = Cert.create () in
+        Cert.attach c solver;
+        Some c
+      end
+      else None
+    in
     let var_tbl = Hashtbl.create 64 in
     List.iter
       (fun label ->
@@ -66,8 +75,19 @@ let check t1 t2 =
           Tseitin.xor_ ~act solver ~out:d v1.(n1) v2.(n2);
           Incr.add_guarded sess ~act [ d ];
           (match Incr.solve sess ~act with
-          | Solver.Sat -> Different label
+          | Solver.Sat ->
+              (* Certified mode: the distinguishing assignment must satisfy
+                 the traced miter clauses before we report a difference. *)
+              (match cert with
+              | Some c -> Cert.check_model c ~assumptions:[ act ] ~value:(Solver.value solver)
+              | None -> ());
+              Different label
           | Solver.Unsat ->
+              (* Certified mode: replay this label's equivalence proof
+                 through the independent checker before trusting it. *)
+              (match cert with
+              | Some c -> Cert.check_unsat c ~assumptions:[ act ]
+              | None -> ());
               Incr.retire sess ~act ~locals:[ d ];
               go rest
           | Solver.Unknown -> Different (label ^ " (unknown)"))

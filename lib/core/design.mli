@@ -49,6 +49,7 @@ val implement :
   ?escalation:Dfm_atpg.Atpg.escalation_policy ->
   ?static_filter:bool ->
   ?sat_mode:Dfm_atpg.Atpg.sat_mode ->
+  ?certify:bool ->
   Dfm_netlist.Netlist.t ->
   t
 (** Run the whole pipeline.  [max_conflicts] bounds each classification SAT
@@ -71,7 +72,12 @@ val implement :
     [sat_mode] selects the SAT query engine (default
     {!Dfm_atpg.Atpg.default_sat_mode}: incremental sessions with learnt
     clauses shared across the faults of a shard; see
-    {!Dfm_atpg.Atpg.sat_mode}). *)
+    {!Dfm_atpg.Atpg.sat_mode}).
+    [certify] makes the classification (and any escalation) verify every
+    emitted verdict against an independent certificate — witness
+    resimulation for Detected, replayed UNSAT proofs for Undetectable; see
+    {!Dfm_atpg.Atpg.classify}.  Metrics, statuses and counts are
+    bit-identical to the uncertified run. *)
 
 val metrics : t -> metrics
 

@@ -143,6 +143,8 @@ type effort = {
   ef_pool_fallbacks : int;
   ef_escalation_retries : int;
   ef_aborted_residual : int;
+  ef_certified_checks : int;
+  ef_certified_failures : int;
 }
 
 let effort (r : Resynth.result) =
@@ -164,6 +166,8 @@ let effort (r : Resynth.result) =
     ef_pool_fallbacks = r.Resynth.pool_fallbacks;
     ef_escalation_retries = r.Resynth.escalation_retries;
     ef_aborted_residual = r.Resynth.aborted_residual;
+    ef_certified_checks = r.Resynth.certified_checks;
+    ef_certified_failures = r.Resynth.certified_failures;
   }
 
 let pp_effort ppf e =
@@ -179,7 +183,12 @@ let pp_effort ppf e =
   if e.ef_escalation_retries > 0 then
     Format.fprintf ppf ", escalation retries %d" e.ef_escalation_retries;
   if e.ef_aborted_residual > 0 then
-    Format.fprintf ppf ", residual aborts %d" e.ef_aborted_residual
+    Format.fprintf ppf ", residual aborts %d" e.ef_aborted_residual;
+  (* Certification counters follow the same rule: only a certified run
+     prints them, so uncertified output stays byte-identical. *)
+  if e.ef_certified_checks > 0 || e.ef_certified_failures > 0 then
+    Format.fprintf ppf ", certified checks %d (failed %d)" e.ef_certified_checks
+      e.ef_certified_failures
 
 type fig2_point = {
   step : int;

@@ -40,6 +40,8 @@ type result = {
   escalation_retries : int;
   escalation_resolved : int;
   aborted_residual : int;
+  certified_checks : int;
+  certified_failures : int;
 }
 
 type checkpoint_spec = { path : string; resume : bool }
@@ -79,6 +81,7 @@ type state = {
   max_conflicts : int option;
   escalation : Atpg.escalation_policy option;
   sat_mode : Atpg.sat_mode;
+  certify : bool;
   ckpt : Checkpoint.t option;
   floorplan : Dfm_layout.Floorplan.t;
   orig_delay : float;
@@ -188,15 +191,15 @@ let internal_u_of_netlist st nl =
   let faults = Dfm_guidelines.Translate.internal_only nl in
   let cls =
     Atpg.classify ~seed:st.seed ?max_conflicts:st.max_conflicts ?cache:st.cache
-      ~sat_mode:st.sat_mode nl faults
+      ~sat_mode:st.sat_mode ~certify:st.certify nl faults
   in
   st.sat_queries <- st.sat_queries + cls.Atpg.counts.Atpg.sat_queries;
   let cls =
     match (st.max_conflicts, st.escalation) with
     | Some mc, Some policy when cls.Atpg.counts.Atpg.aborted > 0 ->
         let cls', es =
-          Atpg.escalate ~policy ?cache:st.cache ~sat_mode:st.sat_mode ~max_conflicts:mc nl
-            faults cls
+          Atpg.escalate ~policy ?cache:st.cache ~sat_mode:st.sat_mode ~certify:st.certify
+            ~max_conflicts:mc nl faults cls
         in
         note_escalation st es;
         cls'
@@ -210,7 +213,7 @@ let implement_opt st nl =
     let d =
       Design.implement ~seed:st.seed ~floorplan:st.floorplan ~previous:st.current
         ?cache:st.cache ?max_conflicts:st.max_conflicts ?escalation:st.escalation
-        ~sat_mode:st.sat_mode nl
+        ~sat_mode:st.sat_mode ~certify:st.certify nl
     in
     st.sat_queries <- st.sat_queries + d.Design.classification.Atpg.counts.Atpg.sat_queries;
     Option.iter
@@ -482,6 +485,32 @@ let try_cells st ~q ~phase ~p2 ~region =
 (* Phases and the q sweep                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* Certified mode: an accepted ECO carries a checked equivalence
+   certificate before the checkpoint journal records it — the rewritten
+   netlist is proven functionally identical to the design it replaces and
+   the per-output UNSAT proofs are replayed through the independent
+   checker.  The verifying solver is uncounted so a certified campaign
+   reports the same search effort as an uncertified one. *)
+let certify_accept st (d' : Design.t) =
+  if st.certify then begin
+    let t0 = Dfm_obs.Clock.now_ns () in
+    let verdict =
+      Dfm_atpg.Equiv_sat.check ~certify:true ~counted:false st.current.Design.netlist
+        d'.Design.netlist
+    in
+    let ok = verdict = Dfm_atpg.Equiv_sat.Equivalent in
+    Dfm_sat.Cert.note_check ~ok ~ns:(Int64.sub (Dfm_obs.Clock.now_ns ()) t0);
+    if not ok then
+      raise
+        (Dfm_sat.Cert.Check_failed
+           (match verdict with
+           | Dfm_atpg.Equiv_sat.Different label ->
+               "accepted ECO differs from the design it replaces at output " ^ label
+           | Dfm_atpg.Equiv_sat.Interface_mismatch what ->
+               "accepted ECO changes the design interface: " ^ what
+           | Dfm_atpg.Equiv_sat.Equivalent -> assert false))
+  end
+
 let run_phase st ~q ~phase ~p1 ~p2 =
   Span.with_ "phase"
     ~attrs:[ ("q", string_of_int q); ("phase", string_of_int phase) ]
@@ -503,6 +532,7 @@ let run_phase st ~q ~phase ~p1 ~p2 =
       if core_region <> [] then begin
         match try_cells st ~q ~phase ~p2 ~region with
         | Some d' ->
+            certify_accept st d';
             st.current <- d';
             st.accepted <- st.accepted + 1;
             (* Checkpoint the accepted design point: the accept event (just
@@ -548,7 +578,8 @@ let checkpoint_header ~p1_percent ~q_max ~seed ~sweep ~context_levels ~max_confl
     (match max_conflicts with None -> "-" | Some c -> string_of_int c)
 
 let run ?(p1_percent = 1.0) ?(q_max = 5) ?(seed = 3) ?(sweep = true) ?(context_levels = 2)
-    ?cache ?max_conflicts ?escalation ?sat_mode ?checkpoint ?log ?interrupt initial =
+    ?cache ?max_conflicts ?escalation ?sat_mode ?(certify = false) ?checkpoint ?log
+    ?interrupt initial =
   let sat_mode = match sat_mode with Some m -> m | None -> Atpg.default_sat_mode () in
   (* [?log] is the deprecated pre-logger callback: when given it still
      receives every campaign message verbatim; otherwise messages become
@@ -558,6 +589,9 @@ let run ?(p1_percent = 1.0) ?(q_max = 5) ?(seed = 3) ?(sweep = true) ?(context_l
   Span.with_ "campaign" ~attrs:[ ("q_max", string_of_int q_max) ] @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let pool_retried0, pool_fellback0 = Dfm_util.Parallel.supervision_totals () in
+  (* Certification counters are process-wide; attribute to this run only the
+     checks performed during this call (baseline, replay and campaign). *)
+  let cert0 = Dfm_sat.Cert.totals () in
   (* Attach the journal (if any) first: a header mismatch or an unwritable
      path must fail before any expensive work starts. *)
   let ckpt, replay =
@@ -578,11 +612,11 @@ let run ?(p1_percent = 1.0) ?(q_max = 5) ?(seed = 3) ?(sweep = true) ?(context_l
      iteration is compared against. *)
   let tb0 = Unix.gettimeofday () in
   let bdesign =
-    Design.implement ~seed ~floorplan:initial.Design.floorplan ~sat_mode
+    Design.implement ~seed ~floorplan:initial.Design.floorplan ~sat_mode ~certify
       initial.Design.netlist
   in
   ignore
-    (Atpg.generate ~seed ~sat_mode bdesign.Design.netlist
+    (Atpg.generate ~seed ~sat_mode ~certify bdesign.Design.netlist
        bdesign.Design.fault_list.Dfm_guidelines.Translate.faults);
   let baseline_s = Unix.gettimeofday () -. tb0 in
   let st =
@@ -609,6 +643,7 @@ let run ?(p1_percent = 1.0) ?(q_max = 5) ?(seed = 3) ?(sweep = true) ?(context_l
       max_conflicts;
       escalation;
       sat_mode;
+      certify;
       ckpt;
       floorplan = initial.Design.floorplan;
       orig_delay = initial.Design.timing.Dfm_timing.Sta.critical_path_delay;
@@ -639,8 +674,11 @@ let run ?(p1_percent = 1.0) ?(q_max = 5) ?(seed = 3) ?(sweep = true) ?(context_l
           in
           let d =
             Design.implement ~seed ~floorplan:st.floorplan ~previous:st.current ?cache
-              ?max_conflicts ?escalation ~sat_mode nl
+              ?max_conflicts ?escalation ~sat_mode ~certify nl
           in
+          (* Resumed accepts are re-certified like fresh ones: the journal
+             records a claim, not a proof. *)
+          certify_accept st d;
           st.current <- d;
           st.trace <- event_of_ckpt a.Checkpoint.ev :: st.trace;
           st.accepted <- a.Checkpoint.accepted;
@@ -709,4 +747,6 @@ let run ?(p1_percent = 1.0) ?(q_max = 5) ?(seed = 3) ?(sweep = true) ?(context_l
     escalation_retries = st.esc_retried;
     escalation_resolved = st.esc_resolved;
     aborted_residual = st.esc_residual;
+    certified_checks = (Dfm_sat.Cert.totals ()).Dfm_sat.Cert.checked - cert0.Dfm_sat.Cert.checked;
+    certified_failures = (Dfm_sat.Cert.totals ()).Dfm_sat.Cert.failed - cert0.Dfm_sat.Cert.failed;
   }

@@ -75,6 +75,13 @@ type result = {
   aborted_residual : int;
       (** aborts surviving every escalation ladder of the run — reported,
           never silently dropped *)
+  certified_checks : int;
+      (** certificate checks performed during this call when [certify] was
+          set (witness resimulations, replayed UNSAT proofs, model checks,
+          equivalence certificates of accepted ECOs); 0 uncertified *)
+  certified_failures : int;
+      (** certificate checks that failed; a completed run always reports 0
+          because a failure raises {!Dfm_sat.Cert.Check_failed} *)
 }
 
 type checkpoint_spec = {
@@ -96,6 +103,7 @@ val run :
   ?max_conflicts:int ->
   ?escalation:Dfm_atpg.Atpg.escalation_policy ->
   ?sat_mode:Dfm_atpg.Atpg.sat_mode ->
+  ?certify:bool ->
   ?checkpoint:checkpoint_spec ->
   ?log:(string -> unit) ->
   (* [?log] is deprecated: campaign messages now flow through
@@ -130,6 +138,16 @@ val run :
     [sat_mode] (default {!Dfm_atpg.Atpg.default_sat_mode}, i.e.
     incremental) selects the SAT engine for every classification the
     campaign performs — see {!Dfm_atpg.Atpg.sat_mode}.
+
+    [certify] (default false) verifies every verdict the campaign relies on
+    against an independent certificate: each classification runs certified
+    (see {!Dfm_atpg.Atpg.classify}), and every accepted ECO — fresh or
+    replayed from a journal — must additionally pass a checked SAT
+    equivalence certificate against the design it replaces before the
+    checkpoint journal records it.  A failed check raises
+    {!Dfm_sat.Cert.Check_failed}.  The final design, trace and every
+    counter except [certified_checks] / [certified_failures] are
+    bit-identical to the uncertified run.
 
     [checkpoint] journals every design point to [path] ({!Checkpoint}).
     Resumption contract: kill the process at any instant and re-run with

@@ -47,7 +47,9 @@ let signatures t ?max_conflicts nl faults =
 
 let find t sg = Store.find t.store sg
 
-let record t sg v = Store.add t.store sg v
+let find_certified t sg = Store.find_certified t.store sg
+
+let record ?certified t sg v = Store.add ?certified t.store sg v
 
 let stats t = Store.stats t.store
 

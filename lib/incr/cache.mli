@@ -29,7 +29,11 @@ val signatures :
 
 val find : t -> int64 -> Store.verdict option
 
-val record : t -> int64 -> Store.verdict -> unit
+val find_certified : t -> int64 -> Store.verdict option
+(** Only entries published certified and whose disk certificate mark
+    validated; see {!Store.find_certified}. *)
+
+val record : ?certified:bool -> t -> int64 -> Store.verdict -> unit
 
 val stats : t -> Store.stats
 

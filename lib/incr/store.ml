@@ -15,6 +15,11 @@ let m_disk_bytes =
   Dfm_obs.Metrics.counter ~help:"Bytes appended to the verdict-cache disk tier"
     "dfm_cache_disk_bytes_total"
 
+let m_degraded =
+  Dfm_obs.Metrics.gauge
+    ~help:"1 when a verdict-store disk tier has degraded to memory-only"
+    "dfm_store_degraded"
+
 type verdict = Detected | Undetectable
 
 type stats = {
@@ -34,7 +39,7 @@ type t = {
          reads [stats] from its network thread while the executor thread
          runs jobs — cross-thread reads of the mutable counters must not
          tear.  Uncontended in the one-shot CLI, so the cost is noise. *)
-  tbl : (int64, verdict) Hashtbl.t;
+  tbl : (int64, verdict * bool) Hashtbl.t;  (* verdict, certified *)
   order : int64 Queue.t;  (* insertion order, for FIFO eviction *)
   capacity : int;
   mutable chan : out_channel option;
@@ -60,26 +65,38 @@ let disable_disk t reason =
       t.log (Printf.sprintf "cache: disk tier disabled (%s) — continuing memory-only" reason);
       close_out_noerr oc;
       t.chan <- None);
-  t.degraded <- true
+  t.degraded <- true;
+  Dfm_obs.Metrics.set m_degraded 1
 
 (* ---- disk format ----------------------------------------------------
    8-byte magic, then records: u16le payload length | payload | u64le
    checksum.  The payload of a v1 record is u64le signature + 1 verdict
-   byte; the length prefix exists so a future version can grow the payload
-   without breaking old readers. *)
+   byte; a v2 (certified) record appends a u64le certificate mark — a keyed
+   digest over the signature and the verdict, recomputed and compared on
+   load, so a corrupted or hand-edited certified entry degrades to a miss
+   rather than a wrongly trusted verdict.  The length prefix is what lets
+   both versions coexist in one log. *)
 
 let magic = "DFMVC01\n"
 let payload_len = 9
+let payload_len_certified = 17
 
 let checksum ~len payload = H.mix (H.of_string payload) (H.of_int len)
 
-let record_bytes sg v =
-  let b = Bytes.create (2 + payload_len + 8) in
-  Bytes.set_uint16_le b 0 payload_len;
+let verdict_code = function Detected -> 0 | Undetectable -> 1
+
+let cert_mark sg v =
+  H.finalize (H.mix (H.mix (H.of_string "DFMCERTv2") sg) (H.of_int (verdict_code v)))
+
+let record_bytes ?(certified = false) sg v =
+  let plen = if certified then payload_len_certified else payload_len in
+  let b = Bytes.create (2 + plen + 8) in
+  Bytes.set_uint16_le b 0 plen;
   Bytes.set_int64_le b 2 sg;
-  Bytes.set_uint8 b 10 (match v with Detected -> 0 | Undetectable -> 1);
-  let payload = Bytes.sub_string b 2 payload_len in
-  Bytes.set_int64_le b 11 (checksum ~len:payload_len payload);
+  Bytes.set_uint8 b 10 (verdict_code v);
+  if certified then Bytes.set_int64_le b 11 (cert_mark sg v);
+  let payload = Bytes.sub_string b 2 plen in
+  Bytes.set_int64_le b (2 + plen) (checksum ~len:plen payload);
   b
 
 (* Best-effort load: returns surviving records in file order, how many were
@@ -97,14 +114,14 @@ let load_file path =
        rewrite := true;
        raise Exit
      end;
-     let lenb = Bytes.create 2 and tail = Bytes.create (payload_len + 8) in
+     let lenb = Bytes.create 2 and tail = Bytes.create (payload_len_certified + 8) in
      let rec loop () =
        (match input_char ic with
        | exception End_of_file -> raise Exit  (* clean end *)
        | c0 -> Bytes.set lenb 0 c0);
        Bytes.set lenb 1 (input_char ic);
        let len = Bytes.get_uint16_le lenb 0 in
-       if len <> payload_len then begin
+       if len <> payload_len && len <> payload_len_certified then begin
          (* A corrupt length prefix means we no longer know where records
             start: drop the rest of the file. *)
          incr dropped;
@@ -119,12 +136,28 @@ let load_file path =
        end
        else begin
          let sg = Bytes.get_int64_le tail 0 in
-         match Bytes.get_uint8 tail 8 with
-         | 0 -> ok := (sg, Detected) :: !ok
-         | 1 -> ok := (sg, Undetectable) :: !ok
-         | _ ->
+         let verdict =
+           match Bytes.get_uint8 tail 8 with
+           | 0 -> Some Detected
+           | 1 -> Some Undetectable
+           | _ -> None
+         in
+         match verdict with
+         | None ->
              incr dropped;
              rewrite := true
+         | Some v ->
+             if len = payload_len then ok := (sg, v, false) :: !ok
+             else if Bytes.get_int64_le tail 9 = cert_mark sg v then ok := (sg, v, true) :: !ok
+             else begin
+               (* Stale or corrupted certificate mark: the record survives as
+                  an uncertified verdict at most — but since the mark is
+                  derived from the very bytes that just checksummed clean,
+                  a mismatch means the writer disagreed with us about the
+                  certificate scheme.  Drop it entirely. *)
+               incr dropped;
+               rewrite := true
+             end
        end;
        loop ()
      in
@@ -141,22 +174,29 @@ let write_all path records =
   let oc = open_out_bin path in
   Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
   output_string oc magic;
-  List.iter (fun (sg, v) -> output_bytes oc (record_bytes sg v)) records
+  List.iter (fun (sg, v, certified) -> output_bytes oc (record_bytes ~certified sg v)) records
 
 (* ---- store ---------------------------------------------------------- *)
 
-let adopt t sg v =
-  if not (Hashtbl.mem t.tbl sg) then begin
-    Hashtbl.replace t.tbl sg v;
-    Queue.push sg t.order;
-    if Hashtbl.length t.tbl > t.capacity then begin
-      Hashtbl.remove t.tbl (Queue.pop t.order);
-      t.evictions <- t.evictions + 1;
-      Dfm_obs.Metrics.incr m_evictions
-    end;
-    true
-  end
-  else false
+(* Returns whether the entry needs a disk append: a fresh signature always
+   does; a known signature only when this add upgrades it from uncertified
+   to certified (the verdict itself never changes — same signature, same
+   semantic fact). *)
+let adopt t ~certified sg v =
+  match Hashtbl.find_opt t.tbl sg with
+  | None ->
+      Hashtbl.replace t.tbl sg (v, certified);
+      Queue.push sg t.order;
+      if Hashtbl.length t.tbl > t.capacity then begin
+        Hashtbl.remove t.tbl (Queue.pop t.order);
+        t.evictions <- t.evictions + 1;
+        Dfm_obs.Metrics.incr m_evictions
+      end;
+      true
+  | Some (v0, false) when certified && v0 = v ->
+      Hashtbl.replace t.tbl sg (v0, true);
+      true
+  | Some _ -> false
 
 let create ?(capacity = 1_000_000) ?path ?(log = fun m -> Dfm_obs.Log.warn m) () =
   let t =
@@ -182,7 +222,10 @@ let create ?(capacity = 1_000_000) ?path ?(log = fun m -> Dfm_obs.Log.warn m) ()
       try
         if Sys.file_exists path then begin
           let records, dropped, rewrite = load_file path in
-          List.iter (fun (sg, v) -> if adopt t sg v then t.disk_loaded <- t.disk_loaded + 1) records;
+          List.iter
+            (fun (sg, v, certified) ->
+              if adopt t ~certified sg v then t.disk_loaded <- t.disk_loaded + 1)
+            records;
           t.disk_dropped <- dropped;
           if dropped > 0 then
             log
@@ -202,7 +245,7 @@ let create ?(capacity = 1_000_000) ?path ?(log = fun m -> Dfm_obs.Log.warn m) ()
 let find t sg =
   Mutex.protect t.lock @@ fun () ->
   match Hashtbl.find_opt t.tbl sg with
-  | Some v ->
+  | Some (v, _) ->
       t.hits <- t.hits + 1;
       Dfm_obs.Metrics.incr m_hits;
       Some v
@@ -211,31 +254,50 @@ let find t sg =
       Dfm_obs.Metrics.incr m_misses;
       None
 
-(* One disk-tier append, with the [store.append] failpoint modeling every
-   way a real append dies: an exception mid-call, an OS error, and a torn
-   (partial) write that leaves a mis-framed tail for the next open's
-   recovery pass to drop. *)
-let append_record oc b =
-  match Dfm_util.Failpoint.check "store.append" with
-  | Some Dfm_util.Failpoint.Raise -> raise (Dfm_util.Failpoint.Injected "store.append")
-  | Some Dfm_util.Failpoint.Io_error -> raise (Sys_error "failpoint: store.append")
+(* Certified lookup: only entries published by a certified run (and whose
+   on-disk certificate mark validated on load) are visible; an uncertified
+   entry is a miss, so certified campaigns recompute rather than trust it. *)
+let find_certified t sg =
+  Mutex.protect t.lock @@ fun () ->
+  match Hashtbl.find_opt t.tbl sg with
+  | Some (v, true) ->
+      t.hits <- t.hits + 1;
+      Dfm_obs.Metrics.incr m_hits;
+      Some v
+  | Some (_, false) | None ->
+      t.misses <- t.misses + 1;
+      Dfm_obs.Metrics.incr m_misses;
+      None
+
+(* One failpoint check shared by the disk-tier failure sites: [store.append]
+   models an append dying mid-call (exception, OS error, torn write);
+   [store.enospc] models the disk filling up — same degradation path, named
+   separately so the chaos matrix can target disk-full specifically. *)
+let failpoint_site oc b name =
+  match Dfm_util.Failpoint.check name with
+  | Some Dfm_util.Failpoint.Raise -> raise (Dfm_util.Failpoint.Injected name)
+  | Some Dfm_util.Failpoint.Io_error ->
+      raise (Sys_error (Printf.sprintf "failpoint: %s: No space left on device" name))
   | Some Dfm_util.Failpoint.Partial_write ->
       output_bytes oc (Bytes.sub b 0 (Bytes.length b / 2));
-      raise (Sys_error "failpoint: store.append (partial write)")
-  | Some (Dfm_util.Failpoint.Delay s) ->
-      Unix.sleepf s;
-      output_bytes oc b
-  | None -> output_bytes oc b
+      raise (Sys_error (Printf.sprintf "failpoint: %s (partial write)" name))
+  | Some (Dfm_util.Failpoint.Delay s) -> Unix.sleepf s
+  | None -> ()
 
-let add t sg v =
+let append_record oc b =
+  failpoint_site oc b "store.enospc";
+  failpoint_site oc b "store.append";
+  output_bytes oc b
+
+let add ?(certified = false) t sg v =
   Mutex.protect t.lock @@ fun () ->
-  if adopt t sg v then begin
+  if adopt t ~certified sg v then begin
     t.stores <- t.stores + 1;
     match t.chan with
     | None -> ()
     | Some oc -> (
         try
-          let b = record_bytes sg v in
+          let b = record_bytes ~certified sg v in
           append_record oc b;
           Dfm_obs.Metrics.incr ~by:(Bytes.length b) m_disk_bytes
         with e -> disable_disk t (Printexc.to_string e))

@@ -14,6 +14,18 @@
     dropped the file is compacted from the surviving records before new
     appends, so the log is always well-framed afterwards.
 
+    Entries published by a certified campaign ([add ~certified:true]) carry
+    a certificate mark on disk — a keyed digest over the signature and the
+    verdict, recomputed and compared on load.  {!find_certified} returns
+    only such validated entries; a corrupted mark drops the record at load
+    time, so a damaged certified entry degrades to a recompute, never to a
+    wrongly trusted verdict.
+
+    Disk-tier failures (ENOSPC, EACCES, torn writes — chaos-tested through
+    the [store.append] and [store.enospc] failpoints) degrade the store to
+    memory-only with a single logged warning and the [dfm_store_degraded]
+    gauge set; they never raise out of a campaign.
+
     The engine consults the store from its coordinating domain only (see
     [Atpg.classify]), never from workers.  Every public entry point is
     nonetheless serialized by an internal mutex: the serve daemon reads
@@ -49,8 +61,14 @@ val create : ?capacity:int -> ?path:string -> ?log:(string -> unit) -> unit -> t
 val find : t -> int64 -> verdict option
 (** Counts a hit or a miss. *)
 
-val add : t -> int64 -> verdict -> unit
-(** Idempotent on an existing signature (no re-append, no counter bump). *)
+val find_certified : t -> int64 -> verdict option
+(** Like {!find}, but an entry not published by a certified run (or whose
+    on-disk certificate mark failed validation at load) is a miss. *)
+
+val add : ?certified:bool -> t -> int64 -> verdict -> unit
+(** Idempotent on an existing signature (no re-append, no counter bump) —
+    except that [~certified:true] upgrades an existing uncertified entry
+    with the same verdict (one re-append, counted as a store). *)
 
 val mem_size : t -> int
 

@@ -53,10 +53,10 @@ let m_reused =
     ~help:"Clauses already present when an incremental solve started (reuse)"
     "dfm_sat_incr_clauses_reused_total"
 
-let create () =
+let create ?counted () =
   Dfm_obs.Metrics.incr m_sessions;
   {
-    solver = Solver.create ();
+    solver = Solver.create ?counted ();
     n_activations = 0;
     n_retired = 0;
     n_solves = 0;

@@ -28,7 +28,10 @@ type stats = {
           started — the work inherited rather than re-encoded *)
 }
 
-val create : unit -> session
+val create : ?counted:bool -> unit -> session
+(** [counted] is passed through to {!Solver.create}: verification-only
+    sessions use [~counted:false] so their effort stays out of the
+    process-wide totals. *)
 
 val solver : session -> Solver.t
 (** The underlying solver, for encoders that allocate variables and for

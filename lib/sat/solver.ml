@@ -40,6 +40,15 @@ type clause = {
 
 type result = Sat | Unsat | Unknown
 
+(* Clausal trace for certification (a DRUP-style derivation): every clause
+   the solver admits is reported to the tracer — original clauses exactly as
+   given (pre-normalization; the checker normalizes independently) and every
+   learnt clause the moment it is derived.  Learnt units and the empty
+   clause are traced too, so the trace alone lets an independent checker
+   replay the refutation.  Deletions are not traced: a checker that keeps
+   every clause remains sound, merely slower. *)
+type trace_event = Trace_original of int list | Trace_learnt of int list
+
 type t = {
   mutable nvars : int;
   mutable clauses : clause list;
@@ -74,9 +83,11 @@ type t = {
   mutable n_learnts : int;
   mutable max_learnts : int;
   mutable simplified_at : int;          (* trail length at the last level-0 sweep *)
+  mutable tracer : (trace_event -> unit) option;
+  counted : bool;                       (* flush effort into the process totals? *)
 }
 
-let create () =
+let create ?(counted = true) () =
   {
     nvars = 0;
     clauses = [];
@@ -107,7 +118,13 @@ let create () =
     n_learnts = 0;
     max_learnts = 4000;
     simplified_at = 0;
+    tracer = None;
+    counted;
   }
+
+let set_trace s tracer = s.tracer <- tracer
+
+let trace s ev = match s.tracer with Some f -> f ev | None -> ()
 
 let num_vars s = s.nvars
 let num_clauses s = s.nclauses
@@ -527,6 +544,7 @@ let mk_clause s ~learnt ~activity ~lbd lits =
 
 let add_clause s ext_lits =
   if not s.unsat then begin
+    trace s (Trace_original ext_lits);
     (* Incremental use: clauses may arrive between solves; strip any leftover
        search state first so level-0 simplification below stays sound. *)
     if decision_level s > 0 then backtrack s 0;
@@ -722,6 +740,13 @@ let solve_search ?(assumptions = []) ?(max_conflicts = max_int) s =
             else begin
               let learnt, blevel, traversed = analyze s confl in
               let lbd = compute_lbd s learnt in
+              (* Every first-UIP learnt clause (minimization included) is a
+                 resolvent of database clauses only: [analyze] runs strictly
+                 above the assumption levels, and assumption literals —
+                 having no reason clause — are never resolved away.  The
+                 trace is therefore a valid derivation from the original
+                 clauses alone, independent of this query's assumptions. *)
+              trace s (Trace_learnt (List.map ext_of_int learnt));
               let blevel = max blevel n_assumptions in
               backtrack s blevel;
               (match learnt with
@@ -815,14 +840,20 @@ let solve ?assumptions ?max_conflicts s =
   Dfm_util.Failpoint.hit "sat.solve";
   let c0 = s.conflicts and d0 = s.decisions and p0 = s.propagations in
   let flush () =
-    let dc = s.conflicts - c0 and dd = s.decisions - d0 and dp = s.propagations - p0 in
-    ignore (Atomic.fetch_and_add conflicts_total dc);
-    ignore (Atomic.fetch_and_add decisions_total dd);
-    ignore (Atomic.fetch_and_add propagations_total dp);
-    Dfm_obs.Metrics.incr m_solves;
-    Dfm_obs.Metrics.incr ~by:dc m_conflicts;
-    Dfm_obs.Metrics.incr ~by:dd m_decisions;
-    Dfm_obs.Metrics.incr ~by:dp m_propagations
+    (* Verification-only instances (certificate re-checks) are uncounted:
+       their effort must not reach the process totals, which feed campaign
+       results and checkpoint records — certified runs stay bit-identical
+       to uncertified ones. *)
+    if s.counted then begin
+      let dc = s.conflicts - c0 and dd = s.decisions - d0 and dp = s.propagations - p0 in
+      ignore (Atomic.fetch_and_add conflicts_total dc);
+      ignore (Atomic.fetch_and_add decisions_total dd);
+      ignore (Atomic.fetch_and_add propagations_total dp);
+      Dfm_obs.Metrics.incr m_solves;
+      Dfm_obs.Metrics.incr ~by:dc m_conflicts;
+      Dfm_obs.Metrics.incr ~by:dd m_decisions;
+      Dfm_obs.Metrics.incr ~by:dp m_propagations
+    end
   in
   Dfm_obs.Span.with_ "sat.solve" (fun () ->
       let r =

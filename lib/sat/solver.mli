@@ -27,7 +27,25 @@ type result =
   | Unsat
   | Unknown  (** conflict budget exhausted *)
 
-val create : unit -> t
+(** Clausal derivation trace, the raw material for UNSAT certificates
+    (see {!Cert}).  [Trace_original] fires for every clause given to
+    {!add_clause} (verbatim, pre-normalization); [Trace_learnt] fires for
+    every clause the search derives — including learnt units and the empty
+    clause — with the asserting literal first.  Each learnt clause is a
+    resolvent of previously traced clauses, so the stream is a DRUP-style
+    proof independent of any query's assumptions.  Clause deletions are
+    not traced; a consumer that keeps everything stays sound. *)
+type trace_event = Trace_original of int list | Trace_learnt of int list
+
+val create : ?counted:bool -> unit -> t
+(** [counted] (default [true]): whether this instance's effort flushes
+    into the process-wide {!totals} and metrics.  Certificate-checking
+    helpers pass [~counted:false] so verification work never perturbs
+    campaign effort accounting. *)
+
+val set_trace : t -> (trace_event -> unit) option -> unit
+(** Install (or remove) the derivation tracer.  The callback runs inline
+    on the search path; keep it cheap. *)
 
 val new_var : t -> int
 (** Allocate and return the next variable index. *)

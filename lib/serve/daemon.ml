@@ -5,7 +5,7 @@ module Report = Dfm_core.Report
 module Metrics = Dfm_obs.Metrics
 module Log = Dfm_obs.Log
 
-type config = { socket_path : string; state_dir : string; jobs : int }
+type config = { socket_path : string; state_dir : string; jobs : int; certify : bool }
 
 exception Startup_error of string
 
@@ -29,12 +29,21 @@ let m_connections = Metrics.gauge ~help:"Open serve connections" "dfm_serve_conn
 let m_queue_wait =
   Metrics.histogram ~help:"Queue wait per job, milliseconds" "dfm_serve_queue_wait_ms"
 
+let m_accept_backoffs =
+  Metrics.counter ~help:"Accept attempts deferred on fd exhaustion (EMFILE/ENFILE)"
+    "dfm_serve_accept_backoffs_total"
+
+let m_conns_shed =
+  Metrics.counter ~help:"Idle event-stream connections shed to free descriptors"
+    "dfm_serve_conns_shed_total"
+
 (* A slow reader may lag; events are droppable once its buffer passes this,
    result frames never are. *)
 let max_buffered_events = 1 lsl 20
 
 type conn = {
   fd : Unix.file_descr;
+  created : float;            (* accept time: shedding targets the oldest *)
   dec : Frame.Decoder.t;
   outq : string Queue.t;      (* encoded frames awaiting the socket *)
   mutable out_off : int;      (* progress into the head of [outq] *)
@@ -80,6 +89,8 @@ type t = {
   ledger : out_channel;
   mutable next_id : int;
   mutable running : job option;
+  mutable accept_backoff : float;     (* current EMFILE backoff, 0 = healthy *)
+  mutable accept_resume_at : float;   (* listen_fd rejoins select after this *)
   mutable draining : bool;
   mutable drain_watchers : conn list;
   mutable shutdown : bool;
@@ -225,7 +236,7 @@ let execute d (j : job) =
       let static_filter = sub.P.static_filter in
       let dsg =
         Design.implement ~cache ~jobs:cap ?max_conflicts ?escalation ~static_filter
-          ~sat_mode nl
+          ~sat_mode ~certify:d.cfg.certify nl
       in
       {
         P.r_job = j.id;
@@ -255,11 +266,14 @@ let execute d (j : job) =
       let checkpoint = { Resynth.path; resume = j.resume && Sys.file_exists path } in
       let q_max = match sub.P.q_max with Some q -> q | None -> 5 in
       let p1_percent = match sub.P.p1 with Some p -> p | None -> 1.0 in
-      let d0 = Design.implement ~cache ?max_conflicts ?escalation ~sat_mode nl in
+      let d0 =
+        Design.implement ~cache ?max_conflicts ?escalation ~sat_mode
+          ~certify:d.cfg.certify nl
+      in
       interrupt ();
       let r =
         Resynth.run ~p1_percent ~q_max ~cache ?max_conflicts ?escalation ~sat_mode
-          ~checkpoint ~interrupt d0
+          ~certify:d.cfg.certify ~checkpoint ~interrupt d0
       in
       {
         P.r_job = j.id;
@@ -292,6 +306,8 @@ let exec_one d (j : job) =
     | exception Cancelled_job -> failed_payload j "cancelled" "cancelled by request"
     | exception Timed_out_job ->
         failed_payload j "timeout" "wall-clock limit reached (journal kept; resubmit resumes)"
+    | exception Dfm_sat.Cert.Check_failed msg ->
+        failed_payload j "failed" ("certification failed: " ^ msg)
     | exception e -> failed_payload j "failed" (Printexc.to_string e)
   in
   let stats1 = Dfm_incr.Cache.stats d.cache in
@@ -507,25 +523,74 @@ let on_writable d conn =
   in
   if not conn.dead then go ()
 
+(* Shed the oldest idle event-stream connection: one that only awaits job
+   events (registered as a watcher, nothing buffered for it).  Its client
+   loses the stream, not the job — results are re-awaitable by id. *)
+let shed_idle_watcher d =
+  Mutex.protect d.mu @@ fun () ->
+  let is_watcher c =
+    Hashtbl.fold (fun _ j acc -> acc || List.memq c j.watchers) d.jobs false
+  in
+  let victim =
+    Hashtbl.fold
+      (fun _ c best ->
+        if (not c.dead) && Queue.is_empty c.outq && is_watcher c then
+          match best with Some b when b.created <= c.created -> best | _ -> Some c
+        else best)
+      d.conns None
+  in
+  match victim with
+  | Some c ->
+      Metrics.incr m_conns_shed;
+      Log.warn "serve: fd exhaustion — shed oldest idle event stream (result stays awaitable)";
+      close_conn d c;
+      true
+  | None -> false
+
+let accept_backoff_initial = 0.05
+let accept_backoff_max = 1.0
+
+(* Descriptor exhaustion is a load condition, not a crash: free a
+   descriptor if an idle stream can be shed, take the listening socket out
+   of the select set for a bounded exponentially growing interval, and keep
+   serving the connections that exist.  [serve.accept_emfile] injects this
+   path deterministically for the chaos tests. *)
+let accept_fd_exhausted d err =
+  Metrics.incr m_accept_backoffs;
+  ignore (shed_idle_watcher d : bool);
+  d.accept_backoff <-
+    (if d.accept_backoff = 0. then accept_backoff_initial
+     else Float.min accept_backoff_max (d.accept_backoff *. 2.));
+  d.accept_resume_at <- now () +. d.accept_backoff;
+  Log.warn (Printf.sprintf "serve: accept failed (%s); retrying in %.2fs" err d.accept_backoff)
+
 let accept_conn d =
-  match Unix.accept d.listen_fd with
-  | fd, _ ->
-      Unix.set_nonblock fd;
-      let conn =
-        {
-          fd;
-          dec = Frame.Decoder.create ();
-          outq = Queue.create ();
-          out_off = 0;
-          out_bytes = 0;
-          close_after_flush = false;
-          dead = false;
-        }
-      in
-      Mutex.protect d.mu (fun () ->
-          Hashtbl.add d.conns fd conn;
-          Metrics.set m_connections (Hashtbl.length d.conns))
-  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  match Dfm_util.Failpoint.check "serve.accept_emfile" with
+  | Some _ -> accept_fd_exhausted d "injected EMFILE"
+  | None -> (
+      match Unix.accept d.listen_fd with
+      | fd, _ ->
+          Unix.set_nonblock fd;
+          d.accept_backoff <- 0.;
+          d.accept_resume_at <- 0.;
+          let conn =
+            {
+              fd;
+              created = now ();
+              dec = Frame.Decoder.create ();
+              outq = Queue.create ();
+              out_off = 0;
+              out_bytes = 0;
+              close_after_flush = false;
+              dead = false;
+            }
+          in
+          Mutex.protect d.mu (fun () ->
+              Hashtbl.add d.conns fd conn;
+              Metrics.set m_connections (Hashtbl.length d.conns))
+      | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE) as e, _, _) ->
+          accept_fd_exhausted d (Unix.error_message e)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ())
 
 let serve_loop d =
   let drain_wake () =
@@ -543,9 +608,13 @@ let serve_loop d =
     let reads, writes, done_ =
       Mutex.protect d.mu @@ fun () ->
       let conns = Hashtbl.fold (fun _ c acc -> c :: acc) d.conns [] in
+      (* While backing off from fd exhaustion the listening socket sits out
+         of the select set; the 1.0s select timeout re-admits it on time. *)
+      let accepting = now () >= d.accept_resume_at in
       let reads =
-        d.listen_fd :: d.wake_r
-        :: List.filter_map (fun c -> if c.dead then None else Some c.fd) conns
+        (if accepting then [ d.listen_fd ] else [])
+        @ d.wake_r
+          :: List.filter_map (fun c -> if c.dead then None else Some c.fd) conns
       in
       let writes =
         List.filter_map
@@ -781,6 +850,8 @@ let run ?(on_ready = fun () -> ()) cfg =
       ledger;
       next_id = replayed.rp_next_id;
       running = None;
+      accept_backoff = 0.;
+      accept_resume_at = 0.;
       draining = false;
       drain_watchers = [];
       shutdown = false;

@@ -43,6 +43,12 @@ type config = {
   socket_path : string;
   state_dir : string;   (** ledger, shared verdict cache, per-job journals *)
   jobs : int;           (** pool floor and default per-job worker cap *)
+  certify : bool;
+      (** run every job certified: verdicts verified against independent
+          certificates ({!Dfm_core.Design.implement}), ECOs against checked
+          equivalence proofs ({!Dfm_core.Resynth.run}), cache hits against
+          their stored marks.  Reports stay byte-identical to uncertified
+          runs; a failed check fails that one job, never the daemon *)
 }
 
 exception Startup_error of string
@@ -53,4 +59,11 @@ exception Startup_error of string
 val run : ?on_ready:(unit -> unit) -> config -> int
 (** Serve until a [drain] request completes the queue.  [on_ready] fires
     once the socket is listening (the in-process bench uses it).  Returns
-    the number of jobs completed over the daemon's lifetime. *)
+    the number of jobs completed over the daemon's lifetime.
+
+    Resource exhaustion: an [accept] failing with EMFILE/ENFILE (chaos-
+    injectable via the [serve.accept_emfile] failpoint) never exits the
+    daemon — it sheds the oldest idle event-stream connection (the job
+    result stays awaitable by id) and pauses accepting for a bounded
+    exponentially growing backoff (50ms … 1s), counted on
+    [dfm_serve_accept_backoffs_total] / [dfm_serve_conns_shed_total]. *)

@@ -13,6 +13,10 @@
       per-job checkpoint; a restarted daemon re-runs the job and delivers
       a byte-identical report (same accepted ECO chain, same final
       netlist hash) to an uninterrupted run.
+   5. Exhaustion + certification: a daemon started with injected
+      EMFILE accept failures (serve.accept_emfile failpoint) and
+      --certify never exits — it backs off, recovers, and the certified
+      job's report is still byte-identical to the uncertified one-shot.
 
    Usage: serve_smoke CLI_EXE NETLIST_FILE *)
 
@@ -220,6 +224,29 @@ let () =
       | Error e -> fail "status: %s" e);
       Client.close c);
   stop_daemon ~sock:sock1 ~pid:pid1;
+
+  (* ---- 5. EMFILE chaos + daemon-wide certify ----------------------- *)
+  (* The failpoint rejects the first accepts as injected EMFILE; the
+     daemon must shed/back off rather than exit, then serve the certified
+     job whose report must still match the uncertified one-shot. *)
+  let sock4 = sock_path "chaos" in
+  let pid5 =
+    spawn exe
+      [
+        "serve"; "--socket"; sock4; "--state-dir"; "smoke_state4"; "-j"; "2"; "--certify";
+        "--failpoint"; "serve.accept_emfile=raise:times=3";
+      ]
+      ~log:"smoke_daemon4.log"
+  in
+  wait_ready sock4;
+  (match
+     submit_analyze ~jobs:1 ~client:"echo" ~name:netlist_file ~netlist:netlist_text sock4
+   with
+  | Ok r when r.Protocol.r_outcome = "done" && String.equal r.Protocol.r_report reference ->
+      pass "daemon survived injected EMFILE; certified report byte-identical"
+  | Ok r -> fail "chaos/certify analyze outcome %s" r.Protocol.r_outcome
+  | Error e -> fail "chaos/certify analyze: %s" e);
+  stop_daemon ~sock:sock4 ~pid:pid5;
 
   (* ---- 4. SIGKILL mid-resynthesis, restart, identical report ------- *)
   (* The netlist is generated in-process and submitted as text, so both

@@ -10,6 +10,7 @@ let () =
       ("logic", Test_logic.suite);
       ("sat", Test_sat.suite);
       ("sat-incr", Test_sat_incr.suite);
+      ("cert", Test_cert.suite);
       ("netlist", Test_netlist.suite);
       ("cellmodel", Test_cellmodel.suite);
       ("lint", Test_lint.suite);
