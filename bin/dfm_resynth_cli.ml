@@ -86,8 +86,18 @@ let log_level_arg =
   Arg.(value & opt (some string) None & info [ "log-level" ] ~docv:"LEVEL" ~doc)
 
 let progress_arg =
-  let doc = "Show a live one-line progress display on stderr while the campaign runs." in
-  Arg.(value & flag & info [ "progress" ] ~doc)
+  let doc =
+    "Show live campaign progress on stderr.  Bare $(b,--progress) (mode $(b,auto)) redraws \
+     a one-line display when stderr is a terminal and emits nothing otherwise; \
+     $(b,--progress=plain) prints one line per update, suitable for logs and CI."
+  in
+  let modes =
+    Arg.enum [ ("auto", Dfm_obs.Progress.Auto); ("plain", Dfm_obs.Progress.Plain) ]
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some Dfm_obs.Progress.Auto) (some modes) None
+    & info [ "progress" ] ~docv:"MODE" ~doc)
 
 type obs = { trace : string option; metrics : string option }
 
@@ -105,7 +115,11 @@ let apply_obs trace metrics log_level progress =
   (* Duration histograms need clock reads; pay for them only when some
      exporter will consume the data. *)
   if trace <> None || metrics <> None then Dfm_obs.Metrics.set_timing_enabled true;
-  Dfm_obs.Progress.set_enabled progress;
+  (match progress with
+  | None -> Dfm_obs.Progress.set_enabled false
+  | Some m ->
+      Dfm_obs.Progress.set_mode m;
+      Dfm_obs.Progress.set_enabled true);
   { trace; metrics }
 
 let finish_obs o =
@@ -953,6 +967,280 @@ let drain_cmd =
        ~doc:"Finish the queued jobs, refuse new ones, and shut the campaign service down.")
     Term.(const run $ socket_arg)
 
+(* ---- live telemetry: trace --follow, top, flight-dump ---- *)
+
+let telemetry_subscribe c sub =
+  match Serve_client.subscribe_telemetry c sub with
+  | Ok () -> ()
+  | Error e ->
+      Fmt.epr "dfm_resynth: telemetry: %s@." e;
+      exit 2
+
+let trace_follow_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Output trace file (Chrome trace-event JSON).")
+  in
+  let follow =
+    Arg.(
+      value & flag
+      & info [ "follow" ]
+          ~doc:
+            "Keep streaming until the daemon goes away (default: stop after the first span \
+             batch).  The file is atomically rewritten per batch, so it is a valid \
+             Perfetto-loadable trace at every instant.")
+  in
+  let batches =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "batches" ] ~docv:"N" ~doc:"Stop after $(docv) span batches (test hook).")
+  in
+  let run socket file follow batches =
+    with_client socket @@ fun c ->
+    telemetry_subscribe c
+      { Serve_proto.t_spans = true; t_metrics = false; t_families = []; t_interval_ms = None };
+    (* Streamed spans are "X" complete events: each batch appends finished
+       spans, so the accumulated array is always a well-formed trace. *)
+    let events = ref [] in
+    let write () =
+      Dfm_obs.Export.write_atomic file
+        ("{\"traceEvents\":[" ^ String.concat ",\n" (List.rev !events) ^ "]}\n")
+    in
+    write ();
+    let stop = match batches with Some n -> n | None -> if follow then max_int else 1 in
+    let rec go n =
+      if n < stop then
+        match Serve_client.next_telemetry c with
+        | Error e -> Fmt.epr "trace: stream ended: %s@." e
+        | Ok ("spans", data) ->
+            let lines =
+              List.filter (fun s -> s <> "") (String.split_on_char '\n' data)
+            in
+            events := List.rev_append lines !events;
+            write ();
+            go (n + 1)
+        | Ok _ -> go n
+    in
+    go 0;
+    Fmt.pr "wrote trace %s (%d events)@." file (List.length !events)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Stream live spans from a campaign service into a Chrome/Perfetto trace file.  \
+          With --follow the file tracks the daemon until interrupted and is valid at \
+          every instant.")
+    Term.(const run $ socket_arg $ file $ follow $ batches)
+
+(* A tolerant reader for the daemon's own Prometheus frames: enough of the
+   exposition grammar to aggregate labelled counters per tenant. *)
+let prom_samples text =
+  let parse_labels s =
+    (* comma-separated key=value pairs, values quoted with backslash escapes *)
+    let out = ref [] and buf = Buffer.create 16 and key = ref "" in
+    let inq = ref false and esc = ref false in
+    let flush_pair () =
+      if !key <> "" then out := (!key, Buffer.contents buf) :: !out;
+      key := "";
+      Buffer.clear buf
+    in
+    String.iter
+      (fun ch ->
+        if !esc then begin
+          Buffer.add_char buf (match ch with 'n' -> '\n' | c -> c);
+          esc := false
+        end
+        else if !inq then
+          match ch with
+          | '\\' -> esc := true
+          | '"' -> inq := false
+          | c -> Buffer.add_char buf c
+        else
+          match ch with
+          | '"' -> inq := true
+          | '=' ->
+              key := Buffer.contents buf;
+              Buffer.clear buf
+          | ',' -> flush_pair ()
+          | ' ' | '\t' -> ()
+          | c -> Buffer.add_char buf c)
+      s;
+    flush_pair ();
+    List.rev !out
+  in
+  let parse_line line =
+    if line = "" || line.[0] = '#' then None
+    else
+      let name_end =
+        match (String.index_opt line '{', String.index_opt line ' ') with
+        | Some b, Some sp when b < sp -> b
+        | _, Some sp -> sp
+        | _ -> String.length line
+      in
+      let name = String.sub line 0 name_end in
+      let labels, rest_at =
+        if name_end < String.length line && line.[name_end] = '{' then begin
+          (* find the closing brace outside quotes *)
+          let n = String.length line in
+          let rec close i inq esc =
+            if i >= n then None
+            else if esc then close (i + 1) inq false
+            else
+              match line.[i] with
+              | '\\' when inq -> close (i + 1) inq true
+              | '"' -> close (i + 1) (not inq) false
+              | '}' when not inq -> Some i
+              | _ -> close (i + 1) inq false
+          in
+          match close (name_end + 1) false false with
+          | None -> ([], n)
+          | Some cb ->
+              (parse_labels (String.sub line (name_end + 1) (cb - name_end - 1)), cb + 1)
+        end
+        else ([], name_end)
+      in
+      let v =
+        float_of_string_opt
+          (String.trim (String.sub line rest_at (String.length line - rest_at)))
+      in
+      Option.map (fun v -> (name, labels, v)) v
+  in
+  List.filter_map parse_line (String.split_on_char '\n' text)
+
+type top_row = {
+  mutable tr_queries : float;
+  mutable tr_conflicts : float;
+  mutable tr_hits : float;
+  mutable tr_misses : float;
+  mutable tr_cert : float;
+}
+
+let top_cmd =
+  let interval =
+    Arg.(
+      value & opt int 1000
+      & info [ "interval" ] ~docv:"MS" ~doc:"Refresh interval in milliseconds.")
+  in
+  let count =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "count" ] ~docv:"N" ~doc:"Exit after $(docv) refreshes (default: forever).")
+  in
+  let run socket interval count =
+    with_client socket @@ fun c ->
+    telemetry_subscribe c
+      {
+        Serve_proto.t_spans = false;
+        t_metrics = true;
+        t_families = [ "dfm_sat_"; "dfm_atpg_"; "dfm_cache_"; "dfm_cert_"; "dfm_serve_" ];
+        t_interval_ms = Some interval;
+      };
+    let tty = Unix.isatty Unix.stdout in
+    let prev = Hashtbl.create 8 in
+    let last_t = ref (Unix.gettimeofday ()) in
+    let render data =
+      let t = Unix.gettimeofday () in
+      let dt = Float.max 0.05 (t -. !last_t) in
+      last_t := t;
+      let rows = Hashtbl.create 8 in
+      let row tenant =
+        match Hashtbl.find_opt rows tenant with
+        | Some r -> r
+        | None ->
+            let r =
+              { tr_queries = 0.; tr_conflicts = 0.; tr_hits = 0.; tr_misses = 0.; tr_cert = 0. }
+            in
+            Hashtbl.add rows tenant r;
+            r
+      in
+      let qwait_sum = ref 0. and qwait_count = ref 0. in
+      List.iter
+        (fun (name, labels, v) ->
+          (match name with
+          | "dfm_serve_queue_wait_ms_sum" -> qwait_sum := v
+          | "dfm_serve_queue_wait_ms_count" -> qwait_count := v
+          | _ -> ());
+          match List.assoc_opt "tenant" labels with
+          | None -> ()
+          | Some tenant -> (
+              let r = row tenant in
+              match name with
+              | "dfm_atpg_sat_queries_total" -> r.tr_queries <- r.tr_queries +. v
+              | "dfm_sat_conflicts_total" -> r.tr_conflicts <- r.tr_conflicts +. v
+              | "dfm_cache_hits_total" -> r.tr_hits <- r.tr_hits +. v
+              | "dfm_cache_misses_total" -> r.tr_misses <- r.tr_misses +. v
+              | "dfm_cert_checked_total" -> r.tr_cert <- r.tr_cert +. v
+              | _ -> ()))
+        (prom_samples data);
+      if tty then Fmt.pr "\027[H\027[2J";
+      Fmt.pr "dfm top — avg queue wait %.1f ms over %.0f job(s)@."
+        (if !qwait_count > 0. then !qwait_sum /. !qwait_count else 0.)
+        !qwait_count;
+      Fmt.pr "%-16s %10s %12s %10s %10s@." "tenant" "sat q/s" "conflicts" "cache hit%" "certified";
+      let tenants = Hashtbl.fold (fun k _ acc -> k :: acc) rows [] in
+      List.iter
+        (fun tenant ->
+          let r = Hashtbl.find rows tenant in
+          let prev_q =
+            match Hashtbl.find_opt prev tenant with Some q -> q | None -> r.tr_queries
+          in
+          Hashtbl.replace prev tenant r.tr_queries;
+          let lookups = r.tr_hits +. r.tr_misses in
+          Fmt.pr "%-16s %10.1f %12.0f %10.1f %10.0f@." tenant
+            ((r.tr_queries -. prev_q) /. dt)
+            r.tr_conflicts
+            (if lookups > 0. then 100. *. r.tr_hits /. lookups else 0.)
+            r.tr_cert)
+        (List.sort compare tenants);
+      Fmt.pr "%!"
+    in
+    let stop = match count with Some n -> n | None -> max_int in
+    let rec go n =
+      if n < stop then
+        match Serve_client.next_telemetry c with
+        | Error e -> Fmt.epr "top: stream ended: %s@." e
+        | Ok ("metrics", data) ->
+            render data;
+            go (n + 1)
+        | Ok _ -> go n
+    in
+    go 0
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live per-tenant view of a campaign service: SAT query rate, conflicts, cache hit \
+          rate and certified checks, refreshed from the daemon's telemetry stream.")
+    Term.(const run $ socket_arg $ interval $ count)
+
+let flight_dump_cmd =
+  let run socket =
+    with_client socket @@ fun c ->
+    match Serve_client.request c Serve_proto.Dump with
+    | Error e ->
+        Fmt.epr "dfm_resynth: flight-dump: %s@." e;
+        exit 2
+    | Ok (Serve_proto.Dumped { trace; text }) ->
+        Fmt.pr "flight recorder dumped:@.  %s@.  %s@." trace text
+    | Ok (Serve_proto.Error_msg m) ->
+        Fmt.epr "dfm_resynth: flight-dump: %s@." m;
+        exit 1
+    | Ok _ ->
+        Fmt.epr "dfm_resynth: flight-dump: unexpected response@.";
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "flight-dump"
+       ~doc:
+         "Ask a running campaign service to write a flight-recorder dump (recent spans, \
+          logs and metrics) under its state directory — same artifacts a crash or SIGUSR2 \
+          produces.")
+    Term.(const run $ socket_arg)
+
 let () =
   let info =
     Cmd.info "dfm_resynth"
@@ -963,4 +1251,4 @@ let () =
        (Cmd.group info
           [ list_cmd; cells_cmd; analyze_cmd; resynth_cmd; lint_cmd; ablate_cmd; paths_cmd;
             verilog_cmd; dump_cmd; serve_cmd; submit_cmd; await_cmd; status_cmd; cancel_cmd;
-            drain_cmd ]))
+            drain_cmd; trace_follow_cmd; top_cmd; flight_dump_cmd ]))

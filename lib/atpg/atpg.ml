@@ -28,6 +28,18 @@ let m_static_filtered =
   Metrics.counter ~help:"Faults proven Undetectable by the static pre-SAT filter"
     "dfm_atpg_static_filtered_total"
 
+(* Per-tenant attributable effort: SAT queries issued and wall time spent
+   in the SAT phase, bumped where the work happens so worker domains are
+   counted too. *)
+let m_sat_queries =
+  Metrics.attributed_counter ~help:"SAT queries issued by fault classification"
+    "dfm_atpg_sat_queries_total"
+
+let m_sat_ns =
+  Metrics.attributed_counter
+    ~help:"Nanoseconds spent in the SAT phase of fault classification"
+    "dfm_atpg_sat_ns_total"
+
 type status = Detected | Undetectable | Aborted
 
 type sat_mode = Oneshot | Incremental
@@ -189,9 +201,10 @@ let sat_range ?max_conflicts ~sat_mode s ~lo ~hi =
       | Encode.Unknown -> s.st.(fid) <- 3
     end
   done;
-  ignore
-    (Atomic.fetch_and_add sat_nanos_total
-       (Int64.to_int (Int64.sub (Dfm_obs.Clock.now_ns ()) t0)));
+  let elapsed = Int64.to_int (Int64.sub (Dfm_obs.Clock.now_ns ()) t0) in
+  ignore (Atomic.fetch_and_add sat_nanos_total elapsed);
+  Metrics.incr_attr ~by:!queries m_sat_queries;
+  Metrics.incr_attr ~by:elapsed m_sat_ns;
   !queries
 
 (* Certified mode: re-verify one Detected fault's witness patterns by

@@ -3,11 +3,11 @@ module B = N.Builder
 module Rng = Dfm_util.Rng
 module Tt = Dfm_logic.Truthtable
 
-type ctx = { b : B.b; rng : Rng.t }
+type ctx = { b : B.b; rng : Rng.t; mutable state_banks : int }
 
 let lib = Dfm_cellmodel.Osu018.library
 
-let make ~name ~seed = { b = B.create ~name lib; rng = Rng.create seed }
+let make ~name ~seed = { b = B.create ~name lib; rng = Rng.create seed; state_banks = 0 }
 
 let pis ctx prefix n = List.init n (fun i -> B.add_pi ctx.b (Printf.sprintf "%s%d" prefix i))
 
@@ -249,7 +249,12 @@ let register ctx ?enable data =
         data
 
 let state_feedback ctx n f =
-  let qs = List.init n (fun i -> B.declare_net ctx.b (Printf.sprintf "st%d_%d" n i)) in
+  (* A per-context bank serial keeps Q-net names unique when one block
+     instantiates several state banks of the same width (tv80's acc and
+     pc): duplicate net names break the Netlist_io text round trip. *)
+  let bank = ctx.state_banks in
+  ctx.state_banks <- bank + 1;
+  let qs = List.init n (fun i -> B.declare_net ctx.b (Printf.sprintf "st%d_%d_%d" bank n i)) in
   let next = f qs in
   if List.length next <> n then invalid_arg "Motifs.state_feedback";
   List.iter2 (fun d q -> B.add_gate_driving ctx.b ~cell:dff [| d |] q) next qs;
@@ -259,7 +264,7 @@ let state_feedback ctx n f =
    context and the old-net -> new-net mapping.  Flip-flop outputs are
    declared first so sequential feedback survives the rebuild. *)
 let rebuild (nl : N.t) =
-  let ctx2 = { b = B.create ~name:nl.N.name lib; rng = Rng.create 0 } in
+  let ctx2 = { b = B.create ~name:nl.N.name lib; rng = Rng.create 0; state_banks = 0 } in
   let net_of = Array.make (N.num_nets nl) (-1) in
   Array.iter
     (fun (p, nid) -> net_of.(nid) <- B.add_pi ctx2.b p)

@@ -19,6 +19,7 @@
 type ctx = {
   b : Dfm_netlist.Netlist.Builder.b;
   rng : Dfm_util.Rng.t;
+  mutable state_banks : int;  (** serial for unique state-net names *)
 }
 
 val make : name:string -> seed:int -> ctx

@@ -3,10 +3,13 @@ module H = Hash64
 (* Registry-level cache metrics, aggregated across every store instance.
    The per-instance [stats] record below stays the source of truth for
    caller-visible accounting; these feed the Prometheus exposition. *)
-let m_hits = Dfm_obs.Metrics.counter ~help:"Verdict-cache lookups that hit" "dfm_cache_hits_total"
+let m_hits =
+  Dfm_obs.Metrics.attributed_counter ~help:"Verdict-cache lookups that hit"
+    "dfm_cache_hits_total"
 
 let m_misses =
-  Dfm_obs.Metrics.counter ~help:"Verdict-cache lookups that missed" "dfm_cache_misses_total"
+  Dfm_obs.Metrics.attributed_counter ~help:"Verdict-cache lookups that missed"
+    "dfm_cache_misses_total"
 
 let m_evictions =
   Dfm_obs.Metrics.counter ~help:"Verdict-cache FIFO evictions" "dfm_cache_evictions_total"
@@ -247,11 +250,11 @@ let find t sg =
   match Hashtbl.find_opt t.tbl sg with
   | Some (v, _) ->
       t.hits <- t.hits + 1;
-      Dfm_obs.Metrics.incr m_hits;
+      Dfm_obs.Metrics.incr_attr m_hits;
       Some v
   | None ->
       t.misses <- t.misses + 1;
-      Dfm_obs.Metrics.incr m_misses;
+      Dfm_obs.Metrics.incr_attr m_misses;
       None
 
 (* Certified lookup: only entries published by a certified run (and whose
@@ -262,11 +265,11 @@ let find_certified t sg =
   match Hashtbl.find_opt t.tbl sg with
   | Some (v, true) ->
       t.hits <- t.hits + 1;
-      Dfm_obs.Metrics.incr m_hits;
+      Dfm_obs.Metrics.incr_attr m_hits;
       Some v
   | Some (_, false) | None ->
       t.misses <- t.misses + 1;
-      Dfm_obs.Metrics.incr m_misses;
+      Dfm_obs.Metrics.incr_attr m_misses;
       None
 
 (* One failpoint check shared by the disk-tier failure sites: [store.append]

@@ -1,12 +1,23 @@
 let write ppf (t : Netlist.t) =
   Format.fprintf ppf "circuit %s@." t.name;
   Array.iter (fun (p, _) -> Format.fprintf ppf "input %s@." p) t.pis;
+  (* The reader identifies nets by token, so two distinct nets sharing a
+     name would silently merge into one doubly-driven net on read-back.
+     Disambiguate collisions deterministically with a net-id suffix. *)
+  let token_owner : (string, int) Hashtbl.t = Hashtbl.create 256 in
   let net_token n =
     let nn = t.nets.(n) in
     match nn.Netlist.driver with
     | Netlist.Const false -> "const0"
     | Netlist.Const true -> "const1"
-    | Netlist.Pi _ | Netlist.Gate_out _ -> nn.Netlist.net_name
+    | Netlist.Pi _ | Netlist.Gate_out _ -> (
+        let name = nn.Netlist.net_name in
+        match Hashtbl.find_opt token_owner name with
+        | Some id when id <> n -> Printf.sprintf "%s~%d" name n
+        | Some _ -> name
+        | None ->
+            Hashtbl.add token_owner name n;
+            name)
   in
   Array.iter
     (fun (g : Netlist.gate) ->

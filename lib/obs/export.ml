@@ -90,6 +90,43 @@ let chrome_trace_string events =
   Buffer.add_string buf "]}\n";
   Buffer.contents buf
 
+(* Chrome "X" (complete) events: one self-contained object per span, no
+   bracketing requirement — the right shape for streaming, where a parent
+   span completes in a later batch than its children and a B/E encoding of
+   one batch alone would be unbalanced. *)
+let complete_event_string (e : Span.event) =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d"
+       (json_escape e.Span.name)
+       (Int64.to_float e.Span.begin_ns /. 1e3)
+       (Int64.to_float (Int64.sub e.Span.end_ns e.Span.begin_ns) /. 1e3)
+       e.Span.tid);
+  Buffer.add_string buf ",\"args\":{";
+  List.iteri
+    (fun j (k, v) ->
+      if j > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+    (("depth", string_of_int e.Span.depth) :: e.Span.attrs);
+  Buffer.add_string buf "}}";
+  Buffer.contents buf
+
+let complete_events_ndjson events =
+  String.concat "" (List.map (fun e -> complete_event_string e ^ "\n") events)
+
+let complete_trace_string events =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (complete_event_string e))
+    events;
+  Buffer.add_string buf "]}\n";
+  Buffer.contents buf
+
 let write_atomic path content =
   let tmp = path ^ ".tmp" in
   let oc = open_out tmp in
@@ -213,6 +250,28 @@ let trace_events_now () =
   let fresh = Span.drain () in
   retained_spans := !retained_spans @ fresh;
   !retained_spans
+
+(* The streaming drain: fresh spans only, still appended to the retained
+   history so an interleaved [snapshot_now] keeps its full-history
+   idempotence — a span is returned by exactly one [take_stream] call and
+   by every subsequent snapshot. *)
+let take_stream () =
+  Mutex.protect retained_mutex @@ fun () ->
+  let fresh = Span.drain () in
+  retained_spans := !retained_spans @ fresh;
+  fresh
+
+let reset_retained () =
+  Mutex.protect retained_mutex @@ fun () -> retained_spans := []
+
+let filter_families families (metrics : Metrics.metric list) =
+  match families with
+  | [] -> metrics
+  | fs ->
+      List.filter
+        (fun (m : Metrics.metric) ->
+          List.exists (fun f -> String.starts_with ~prefix:f m.Metrics.name) fs)
+        metrics
 
 let prometheus_now () = prometheus_string (Metrics.snapshot ())
 

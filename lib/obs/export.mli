@@ -29,6 +29,35 @@ val metrics_json_string : Metrics.metric list -> string
 val json_escape : string -> string
 (** Escape a string for inclusion inside JSON double quotes. *)
 
+val prom_label_escape : string -> string
+(** Escape a string for inclusion inside a Prometheus label value
+    (backslash, double quote, newline). *)
+
+val write_atomic : string -> string -> unit
+(** [write_atomic path content] — temp file + rename, never a torn file. *)
+
+(** {1 Streaming encoders}
+
+    Chrome "X" (complete) events: one self-contained object per span with
+    no bracketing requirement — the right shape for streaming, where a
+    parent span completes in a later batch than its children. *)
+
+val complete_event_string : Span.event -> string
+(** One ["X"] trace event object ([ts]/[dur] in microseconds, nesting
+    depth under [args.depth]). *)
+
+val complete_events_ndjson : Span.event list -> string
+(** One event object per line — the payload of a telemetry span frame. *)
+
+val complete_trace_string : Span.event list -> string
+(** [{"traceEvents":[...]}] of ["X"] events — the flight-recorder dump
+    format. *)
+
+val filter_families :
+  string list -> Metrics.metric list -> Metrics.metric list
+(** Keep metrics whose name starts with any given prefix ([[]] keeps
+    all). *)
+
 (** {1 Live snapshots}
 
     Mid-run exports for long-lived processes (the serve daemon serves
@@ -43,8 +72,17 @@ val trace_events_now : unit -> Span.event list
 (** Drain the span buffers into the retained history and return the whole
     history.  Thread-safe. *)
 
+val take_stream : unit -> Span.event list
+(** Drain the span buffers into the retained history and return only the
+    freshly drained spans: each span is returned by exactly one
+    [take_stream] call, while remaining part of every later
+    {!trace_events_now}/{!snapshot_now} history. *)
+
 val prometheus_now : unit -> string
 (** The current metrics registry as Prometheus text exposition. *)
+
+val reset_retained : unit -> unit
+(** Discard the retained span history — test isolation. *)
 
 val snapshot_now : ?trace:string -> ?metrics:string -> unit -> unit
 (** Write the current trace and/or metrics snapshot atomically to the

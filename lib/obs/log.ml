@@ -42,7 +42,41 @@ let set_sink s =
   sink := s;
   Mutex.unlock sink_mutex
 
-let would_log l = !sink <> None && severity l <= Atomic.get threshold
+(* Flight-recorder retention: when on, every record passing the level gate
+   is also kept in a small process-wide ring, sink or no sink, so a
+   post-mortem dump can include the most recent log lines. *)
+let retain_capacity = 256
+let retain_flag = Atomic.make false
+let retain_ring : record option array = Array.make retain_capacity None
+let retain_pos = ref 0
+let retain_count = ref 0
+let retain_mutex = Mutex.create ()
+
+let set_retain b = Atomic.set retain_flag b
+
+let retain r =
+  Mutex.lock retain_mutex;
+  retain_ring.(!retain_pos) <- Some r;
+  retain_pos := (!retain_pos + 1) mod retain_capacity;
+  incr retain_count;
+  Mutex.unlock retain_mutex
+
+let recent () =
+  Mutex.lock retain_mutex;
+  let n = min !retain_count retain_capacity in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    match
+      retain_ring.((!retain_pos - 1 - i + (2 * retain_capacity)) mod retain_capacity)
+    with
+    | Some r -> out := r :: !out
+    | None -> ()
+  done;
+  Mutex.unlock retain_mutex;
+  !out
+
+let would_log l =
+  (!sink <> None || Atomic.get retain_flag) && severity l <= Atomic.get threshold
 
 let stderr_sink r =
   let attrs =
@@ -52,6 +86,7 @@ let stderr_sink r =
 
 let log ?(attrs = []) level message =
   if would_log level then begin
+    if Atomic.get retain_flag then retain { level; message; attrs };
     Mutex.lock sink_mutex;
     (match !sink with
     | Some deliver -> ( try deliver { level; message; attrs } with _ -> ())

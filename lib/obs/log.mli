@@ -40,6 +40,14 @@ val set_sink : (record -> unit) option -> unit
 val stderr_sink : record -> unit
 (** A ready-made sink: one [level: message k=v ...] line per record. *)
 
+val set_retain : bool -> unit
+(** Flight-recorder retention: when on, every record passing the level
+    gate is also kept in a fixed-size process-wide ring (newest wins),
+    whether or not a sink is installed. *)
+
+val recent : unit -> record list
+(** The retained window, oldest first. *)
+
 val log : ?attrs:(string * string) list -> level -> string -> unit
 
 val error : ?attrs:(string * string) list -> string -> unit

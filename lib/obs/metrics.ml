@@ -30,8 +30,41 @@ let registry_mutex = Mutex.create ()
 let canon_labels labels =
   List.sort (fun (a, _) (b, _) -> compare a b) labels
 
+(* Label hygiene, enforced at registration: Prometheus label names must
+   match [a-zA-Z_][a-zA-Z0-9_]*, and a label set with a duplicated key
+   renders as an invalid exposition (two [k="…"] pairs in one series).
+   Both are programming errors — reject them with a descriptive message
+   instead of exporting a broken page.  [labels] arrives canonically
+   sorted, so duplicates are adjacent. *)
+let valid_label_name n =
+  n <> ""
+  && (match n.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (fun c ->
+         match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       n
+
+let check_labels name labels =
+  List.iter
+    (fun (k, _) ->
+      if not (valid_label_name k) then
+        invalid_arg
+          (Printf.sprintf "Dfm_obs.Metrics: %s: invalid label name %S" name k))
+    labels;
+  let rec dup = function
+    | (a, _) :: ((b, _) :: _ as tl) -> if a = b then Some a else dup tl
+    | _ -> None
+  in
+  match dup labels with
+  | Some k ->
+      invalid_arg
+        (Printf.sprintf "Dfm_obs.Metrics: %s: duplicate label key %S in one label set"
+           name k)
+  | None -> ()
+
 let register name help labels make =
   let labels = canon_labels labels in
+  check_labels name labels;
   let key = (name, labels) in
   Mutex.lock registry_mutex;
   let entry =
@@ -98,6 +131,70 @@ let observe h v =
 let timing = Atomic.make false
 let set_timing_enabled b = Atomic.set timing b
 let timing_enabled () = Atomic.get timing
+
+(* ---- ambient attribution ------------------------------------------- *)
+
+(* One process-global context is enough: the serve daemon executes one job
+   at a time (single executor lane), and the worker domains that job spawns
+   all serve the same tenant.  The context is output-only — it selects
+   which labeled series a bump also lands on, never what the engine
+   computes — so attribution cannot change a campaign result. *)
+let attribution_ctx : (string * string) list Atomic.t = Atomic.make []
+
+(* (name, help) of every attributed counter, guarded by [registry_mutex]:
+   installing a context eagerly registers each one's labeled series, so a
+   tenant's families are present (at zero) even for work it never did —
+   e.g. a fully-cached job has a misses series, not a hole. *)
+let attributed_inventory : (string * string) list ref = ref []
+
+let set_attribution labels =
+  let labels = canon_labels labels in
+  check_labels "set_attribution" labels;
+  Atomic.set attribution_ctx labels;
+  if labels <> [] then begin
+    Mutex.lock registry_mutex;
+    let inv = !attributed_inventory in
+    Mutex.unlock registry_mutex;
+    List.iter (fun (name, help) -> ignore (counter ~help ~labels name : counter)) inv
+  end
+
+let attribution () = Atomic.get attribution_ctx
+
+type attributed = {
+  a_name : string;
+  a_help : string;
+  a_base : counter;
+  (* The context list is allocated once per job, so caching the last
+     (context, labeled-counter) pair by physical equality makes the
+     attributed hot path one atomic read beyond the base bump. *)
+  a_last : ((string * string) list * counter) Atomic.t;
+}
+
+let attributed_counter ?(help = "") name =
+  let base = counter ~help name in
+  Mutex.lock registry_mutex;
+  if not (List.mem_assoc name !attributed_inventory) then
+    attributed_inventory := (name, help) :: !attributed_inventory;
+  Mutex.unlock registry_mutex;
+  { a_name = name; a_help = help; a_base = base; a_last = Atomic.make ([], base) }
+
+let attr_base a = a.a_base
+
+let incr_attr ?(by = 1) a =
+  incr ~by a.a_base;
+  match Atomic.get attribution_ctx with
+  | [] -> ()
+  | ctx ->
+      let last_ctx, last_c = Atomic.get a.a_last in
+      let c =
+        if last_ctx == ctx then last_c
+        else begin
+          let c = counter ~help:a.a_help ~labels:ctx a.a_name in
+          Atomic.set a.a_last (ctx, c);
+          c
+        end
+      in
+      incr ~by c
 
 type value =
   | Counter of int

@@ -17,7 +17,8 @@ type gauge
 type histogram
 
 val counter : ?help:string -> ?labels:(string * string) list -> string -> counter
-(** Monotonically non-decreasing. *)
+(** Monotonically non-decreasing.  Registration rejects invalid label
+    names and duplicate label keys with [Invalid_argument] (all kinds). *)
 
 val gauge : ?help:string -> ?labels:(string * string) list -> string -> gauge
 
@@ -46,6 +47,35 @@ val observe : histogram -> int -> unit
 
 val set_timing_enabled : bool -> unit
 val timing_enabled : unit -> bool
+
+(** {1 Ambient attribution}
+
+    A process-global label context (tenant, job id, …) that attributed
+    counters also bump under.  The serve daemon sets it around each job it
+    executes; engine code stays attribution-agnostic.  Output-only: the
+    context selects which labeled series a bump lands on, never what the
+    engine computes. *)
+
+val set_attribution : (string * string) list -> unit
+(** Install the ambient label context ([[]] clears it).  Label names are
+    validated like registration labels.  Installing a non-empty context
+    eagerly registers every attributed counter's labeled series (at
+    zero), so each tenant's families appear in the exposition even for
+    work it never did. *)
+
+val attribution : unit -> (string * string) list
+
+type attributed
+(** A counter that always bumps its unlabeled base series and, while an
+    attribution context is installed, also a lazily-registered series
+    carrying the context labels. *)
+
+val attributed_counter : ?help:string -> string -> attributed
+
+val incr_attr : ?by:int -> attributed -> unit
+
+val attr_base : attributed -> counter
+(** The unlabeled base series (for tests and totals). *)
 
 (** {1 Snapshot (for exporters and tests)} *)
 

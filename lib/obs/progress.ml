@@ -10,11 +10,28 @@ let set_output o =
   output := o;
   Mutex.unlock out_mutex
 
+type mode = Auto | Plain
+
+let mode_flag = Atomic.make Auto
+let set_mode m = Atomic.set mode_flag m
+let mode () = Atomic.get mode_flag
+
 let displayed = Atomic.make false
 
+(* Control-character rewriting is only meaningful on a terminal; piped or
+   redirected stderr (CI, dune runtest, daemons) would otherwise collect
+   rate-limited \r garbage, so [Auto] emits nothing there.  [Plain] is the
+   opt-in for logs that do want one line per update. *)
+let stderr_tty = lazy (try Unix.isatty Unix.stderr with Unix.Unix_error _ -> false)
+
 let default_output line =
-  Printf.eprintf "\r%s\027[K%!" line;
-  Atomic.set displayed true
+  match Atomic.get mode_flag with
+  | Plain -> Printf.eprintf "%s\n%!" line
+  | Auto ->
+      if Lazy.force stderr_tty then begin
+        Printf.eprintf "\r%s\027[K%!" line;
+        Atomic.set displayed true
+      end
 
 let min_interval_ns = 100_000_000L (* 100 ms *)
 

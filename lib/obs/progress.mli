@@ -10,6 +10,16 @@ val set_enabled : bool -> unit
 
 val enabled : unit -> bool
 
+type mode =
+  | Auto  (** \r-rewritten line when stderr is a tty, nothing otherwise *)
+  | Plain  (** one plain line per displayed update, tty or not *)
+
+val set_mode : mode -> unit
+(** Default [Auto].  Only affects the built-in stderr output; a custom
+    {!set_output} sink is unaffected. *)
+
+val mode : unit -> mode
+
 val set_output : (string -> unit) option -> unit
 (** Redirect the rendered line (tests); [None] restores the default
     stderr [\r]-rewrite behaviour. *)

@@ -1,0 +1,96 @@
+(* Flight recorder policy: one switch arming Span's per-domain rings and
+   Log's retention, and a dump renderer producing a post-mortem pair —
+   an atomic Chrome trace of the retained window (plus still-open spans,
+   synthesized as "X" events closing at dump time and tagged open=true)
+   and a text report with the failing span stacks, recent logs, and the
+   full metrics exposition.
+
+   Everything here is read-only with respect to the engines: arming the
+   recorder costs one extra predicate in [Span.with_] plus a ring store
+   per completed span, and dumping reads snapshots without blocking any
+   recording domain — the result-transparency invariant holds with the
+   recorder on, off, or mid-dump. *)
+
+let set_enabled b =
+  Span.set_recorder b;
+  Log.set_retain b
+
+let enabled () = Span.recorder ()
+
+let synth_open_events ~now_ns stacks =
+  List.concat_map
+    (fun (tid, stack) ->
+      List.map
+        (fun (oi : Span.open_info) ->
+          {
+            Span.name = oi.Span.oi_name;
+            begin_ns = oi.Span.oi_begin_ns;
+            end_ns = now_ns;
+            begin_seq = 0;
+            end_seq = 0;
+            tid;
+            depth = oi.Span.oi_depth;
+            attrs = ("open", "true") :: oi.Span.oi_attrs;
+          })
+        stack)
+    stacks
+
+let trace_string () =
+  let now_ns = Clock.now_ns () in
+  Export.complete_trace_string
+    (Span.recent () @ synth_open_events ~now_ns (Span.open_stacks ()))
+
+let pp_stack buf label (tid, stack) =
+  Buffer.add_string buf (Printf.sprintf "%s (domain %d, innermost first):\n" label tid);
+  List.iter
+    (fun (oi : Span.open_info) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %*s%s%s\n" (2 * oi.Span.oi_depth) "" oi.Span.oi_name
+           (match oi.Span.oi_attrs with
+           | [] -> ""
+           | attrs ->
+               " ["
+               ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) attrs)
+               ^ "]")))
+    stack
+
+let text_string ~reason () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "flight recorder dump\nreason: %s\n\n" reason);
+  (match Span.last_failures () with
+  | [] -> Buffer.add_string buf "no failure capture recorded\n"
+  | fails -> List.iter (pp_stack buf "failing span stack") fails);
+  Buffer.add_char buf '\n';
+  (match Span.open_stacks () with
+  | [] -> Buffer.add_string buf "no spans currently open\n"
+  | opens -> List.iter (pp_stack buf "open span stack") opens);
+  Buffer.add_char buf '\n';
+  let logs = Log.recent () in
+  Buffer.add_string buf (Printf.sprintf "recent log records (%d):\n" (List.length logs));
+  List.iter
+    (fun (r : Log.record) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s: %s%s\n"
+           (Log.level_to_string r.Log.level)
+           r.Log.message
+           (String.concat ""
+              (List.map (fun (k, v) -> Printf.sprintf " %s=%s" k v) r.Log.attrs))))
+    logs;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf "metrics at dump time:\n";
+  Buffer.add_string buf (Export.prometheus_string (Metrics.snapshot ()));
+  Buffer.contents buf
+
+let dump_seq = Atomic.make 0
+
+let dump ~dir ~reason =
+  try
+    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+    let seq = Atomic.fetch_and_add dump_seq 1 in
+    let stem = Printf.sprintf "flight-%d-%d" (Unix.getpid ()) seq in
+    let trace_path = Filename.concat dir (stem ^ ".trace.json") in
+    let text_path = Filename.concat dir (stem ^ ".txt") in
+    Export.write_atomic trace_path (trace_string ());
+    Export.write_atomic text_path (text_string ~reason ());
+    Ok (trace_path, text_path)
+  with e -> Error (Printexc.to_string e)

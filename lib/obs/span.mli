@@ -30,6 +30,40 @@ val set_enabled : bool -> unit
 
 val enabled : unit -> bool
 
+(** {1 Flight recorder}
+
+    A second consumer of the same span stream: when the recorder is on,
+    every completed span is also written into a fixed per-domain ring
+    ({!ring_capacity} entries) that wraps instead of growing, so the most
+    recent window is always available for a post-mortem dump at near-zero
+    steady-state cost.  Independent of {!set_enabled}: either switch
+    activates span collection; only {!set_enabled} feeds {!drain}. *)
+
+val set_recorder : bool -> unit
+
+val recorder : unit -> bool
+
+val ring_capacity : int
+
+type open_info = {
+  oi_name : string;
+  oi_begin_ns : int64;
+  oi_depth : int;
+  oi_attrs : (string * string) list;
+}
+
+val recent : unit -> event list
+(** The flight-recorder window: the most recent completed spans of every
+    domain, ordered like {!drain} but without clearing anything. *)
+
+val open_stacks : unit -> (int * open_info list) list
+(** Per-domain open-span stacks (innermost first) at the instant of the
+    call — a racy diagnostic snapshot, never blocking the owner. *)
+
+val last_failures : unit -> (int * open_info list) list
+(** Per-domain open-span stacks captured at the innermost frame of the
+    most recent exceptional unwind through {!with_}. *)
+
 val with_ : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
 (** [with_ name f] runs [f ()] inside a span named [name].  When
     recording is disabled this is just [f ()]. *)
@@ -46,4 +80,5 @@ val dropped : unit -> int
 (** Events discarded because a per-domain buffer hit its cap. *)
 
 val reset : unit -> unit
-(** Clear all buffers, open-span stacks are untouched — test isolation. *)
+(** Clear all buffers, rings, and failure captures; open-span stacks are
+    untouched — test isolation. *)

@@ -23,9 +23,11 @@ module Metrics = Dfm_obs.Metrics
 exception Check_failed of string
 
 let m_checked =
-  Metrics.counter ~help:"Certificate checks passed (verdict-level)" "dfm_cert_checked_total"
+  Metrics.attributed_counter ~help:"Certificate checks passed (verdict-level)"
+    "dfm_cert_checked_total"
 
-let m_failed = Metrics.counter ~help:"Certificate checks failed" "dfm_cert_failed_total"
+let m_failed =
+  Metrics.attributed_counter ~help:"Certificate checks failed" "dfm_cert_failed_total"
 
 let m_proof_bytes =
   Metrics.counter ~help:"Proof bytes traced (nominal DRUP encoding)"
@@ -61,11 +63,11 @@ let totals () =
 let note_check ~ok ~ns =
   if ok then begin
     ignore (Atomic.fetch_and_add checked_total 1);
-    Metrics.incr m_checked
+    Metrics.incr_attr m_checked
   end
   else begin
     ignore (Atomic.fetch_and_add failed_total 1);
-    Metrics.incr m_failed
+    Metrics.incr_attr m_failed
   end;
   if Metrics.timing_enabled () then begin
     ignore (Atomic.fetch_and_add check_ns_total (Int64.to_int ns));

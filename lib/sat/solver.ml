@@ -145,10 +145,13 @@ let propagations_total = Atomic.make 0
 let totals () =
   (Atomic.get conflicts_total, Atomic.get decisions_total, Atomic.get propagations_total)
 
-let m_solves = Dfm_obs.Metrics.counter ~help:"SAT solve calls" "dfm_sat_solves_total"
+(* Solves and conflicts carry the ambient tenant/job attribution so a live
+   daemon can expose per-tenant SAT effort; the rest stay process-global. *)
+let m_solves =
+  Dfm_obs.Metrics.attributed_counter ~help:"SAT solve calls" "dfm_sat_solves_total"
 
 let m_conflicts =
-  Dfm_obs.Metrics.counter ~help:"CDCL conflicts across all solvers"
+  Dfm_obs.Metrics.attributed_counter ~help:"CDCL conflicts across all solvers"
     "dfm_sat_conflicts_total"
 
 let m_decisions =
@@ -849,8 +852,8 @@ let solve ?assumptions ?max_conflicts s =
       ignore (Atomic.fetch_and_add conflicts_total dc);
       ignore (Atomic.fetch_and_add decisions_total dd);
       ignore (Atomic.fetch_and_add propagations_total dp);
-      Dfm_obs.Metrics.incr m_solves;
-      Dfm_obs.Metrics.incr ~by:dc m_conflicts;
+      Dfm_obs.Metrics.incr_attr m_solves;
+      Dfm_obs.Metrics.incr_attr ~by:dc m_conflicts;
       Dfm_obs.Metrics.incr ~by:dd m_decisions;
       Dfm_obs.Metrics.incr ~by:dp m_propagations
     end

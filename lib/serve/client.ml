@@ -33,6 +33,7 @@ let wait_result ?(on_event = fun ~job:_ ~stream:_ ~data:_ -> ()) t =
     | Ok (Protocol.Event { job; stream; data }) ->
         on_event ~job ~stream ~data;
         go ()
+    | Ok (Protocol.Telemetry _) -> go ()
     | Ok (Protocol.Accepted _) -> go ()
     | Ok (Protocol.Result p) -> Ok p
     | Ok (Protocol.Error_msg m) -> Error m
@@ -49,3 +50,22 @@ let await ?on_event t id =
   match send t (Protocol.Await id) with
   | Error e -> Error e
   | Ok () -> wait_result ?on_event t
+
+let subscribe_telemetry t s =
+  match request t (Protocol.Telemetry_sub s) with
+  | Error e -> Error e
+  | Ok Protocol.Ok_resp -> Ok ()
+  | Ok (Protocol.Error_msg m) -> Error m
+  | Ok _ -> Error "unexpected response to telemetry subscription"
+
+(* Dedicated telemetry connections see only Telemetry frames after the
+   subscription ack; anything else interleaved is skipped, not an error. *)
+let next_telemetry t =
+  let rec go () =
+    match recv t with
+    | Error e -> Error e
+    | Ok (Protocol.Telemetry { stream; data }) -> Ok (stream, data)
+    | Ok (Protocol.Error_msg m) -> Error m
+    | Ok _ -> go ()
+  in
+  go ()

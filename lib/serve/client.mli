@@ -31,3 +31,11 @@ val await :
   (Protocol.result_payload, string) result
 (** Re-attach to a job by id (possibly submitted before a daemon restart)
     and block until its result. *)
+
+val subscribe_telemetry : t -> Protocol.telemetry_sub -> (unit, string) result
+(** Turn this connection into a telemetry stream: the daemon acks, then
+    sends droppable [Telemetry] frames matching the subscription. *)
+
+val next_telemetry : t -> (string * string, string) result
+(** Block until the next [Telemetry] frame, returning [(stream, data)].
+    Other frame kinds arriving on this connection are skipped. *)

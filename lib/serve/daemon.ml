@@ -37,6 +37,10 @@ let m_conns_shed =
   Metrics.counter ~help:"Idle event-stream connections shed to free descriptors"
     "dfm_serve_conns_shed_total"
 
+let m_telemetry_dropped =
+  Metrics.counter ~help:"Telemetry frames dropped to slow subscribers"
+    "dfm_serve_telemetry_dropped_total"
+
 (* A slow reader may lag; events are droppable once its buffer passes this,
    result frames never are. *)
 let max_buffered_events = 1 lsl 20
@@ -50,6 +54,8 @@ type conn = {
   mutable out_bytes : int;
   mutable close_after_flush : bool;
   mutable dead : bool;
+  mutable telemetry : P.telemetry_sub option;
+  mutable next_metrics_at : float;  (* next paced metrics frame for this sub *)
 }
 
 type job = {
@@ -95,7 +101,13 @@ type t = {
   mutable drain_watchers : conn list;
   mutable shutdown : bool;
   mutable completed : int;
+  mutable next_span_pump : float;  (* pacing for the shared span drain *)
+  spans_at_start : bool;  (* span collection already on before we arbitrate it *)
 }
+
+(* SIGUSR2 asks a live daemon for a flight-recorder dump; the handler only
+   raises a flag the select loop polls, everything else is async-unsafe. *)
+let sigusr2_dump = Atomic.make false
 
 let now () = Unix.gettimeofday ()
 
@@ -114,17 +126,50 @@ let wake d =
 
 (* ---- outgoing frames (mu held) ---------------------------------------- *)
 
+let enqueue d conn resp =
+  let frame = Frame.encode (P.response_to_json resp) in
+  Queue.add frame conn.outq;
+  conn.out_bytes <- conn.out_bytes + String.length frame;
+  wake d
+
 let post ?(droppable = false) d conn resp =
   if not conn.dead then begin
     if droppable && conn.out_bytes > max_buffered_events then
       Metrics.incr m_dropped_events
-    else begin
-      let frame = Frame.encode (P.response_to_json resp) in
-      Queue.add frame conn.outq;
-      conn.out_bytes <- conn.out_bytes + String.length frame;
-      wake d
-    end
+    else enqueue d conn resp
   end
+
+(* Telemetry frames are always droppable: results and protocol replies win
+   the buffer, telemetry yields and the drop is counted. *)
+let post_telemetry d conn resp =
+  if not conn.dead then begin
+    if conn.out_bytes > max_buffered_events then Metrics.incr m_telemetry_dropped
+    else enqueue d conn resp
+  end
+
+(* Span collection costs a little per span, so the daemon turns it on only
+   while someone is subscribed — unless it was already on (CLI --timing),
+   which the daemon never overrides. *)
+let refresh_span_collection d =
+  let wanted =
+    Hashtbl.fold
+      (fun _ c acc ->
+        acc
+        || match c.telemetry with Some s -> (not c.dead) && s.P.t_spans | None -> false)
+      d.conns false
+  in
+  Dfm_obs.Span.set_enabled (d.spans_at_start || wanted)
+
+let flight_dir d = Filename.concat d.cfg.state_dir "flightrec"
+
+(* Logs on both paths, so never call while holding [mu] (the obs router's
+   log sink takes it). *)
+let flight_dump_logged d ~reason =
+  match Dfm_obs.Recorder.dump ~dir:(flight_dir d) ~reason with
+  | Ok (trace, _) ->
+      Log.warn (Printf.sprintf "serve: flight recorder dump (%s) -> %s" reason trace)
+  | Error e ->
+      Log.error (Printf.sprintf "serve: flight recorder dump failed (%s): %s" reason e)
 
 let post_watchers ?droppable d job resp =
   job.watchers <- List.filter (fun c -> not c.dead) job.watchers;
@@ -212,6 +257,11 @@ let sat_mode_of_string = function
    per-client attribution. *)
 let execute d (j : job) =
   let sub = j.sub in
+  (* One span per job: streamed traces and flight dumps tie every engine
+     span below to the owning job, and any exceptional unwind crosses at
+     least this frame, so a failure stack is always captured. *)
+  Dfm_obs.Span.with_ "serve.job" ~attrs:[ ("job", j.id); ("tenant", sub.P.client) ]
+  @@ fun () ->
   let cap = match sub.P.limits.P.jobs with Some n -> n | None -> d.cfg.jobs in
   Dfm_util.Parallel.set_default_jobs cap;
   let max_conflicts = sub.P.limits.P.max_conflicts in
@@ -300,6 +350,9 @@ let exec_one d (j : job) =
   let t0 = now () in
   Metrics.observe m_queue_wait (int_of_float ((t0 -. j.submitted) *. 1000.));
   let stats0 = Dfm_incr.Cache.stats d.cache in
+  (* Ambient attribution: the executor is single-lane, so every engine
+     counter bumped between here and the clear belongs to this tenant/job. *)
+  Metrics.set_attribution [ ("tenant", j.sub.P.client); ("job", j.id) ];
   let payload =
     match execute d j with
     | p -> p
@@ -310,6 +363,10 @@ let exec_one d (j : job) =
         failed_payload j "failed" ("certification failed: " ^ msg)
     | exception e -> failed_payload j "failed" (Printexc.to_string e)
   in
+  Metrics.set_attribution [];
+  if payload.P.r_outcome <> "done" then
+    flight_dump_logged d
+      ~reason:(Printf.sprintf "job %s %s: %s" j.id payload.P.r_outcome payload.P.r_report);
   let stats1 = Dfm_incr.Cache.stats d.cache in
   let service = now () -. t0 in
   Mutex.protect d.mu @@ fun () ->
@@ -456,6 +513,17 @@ let handle_request d conn payload =
       d.drain_watchers <- conn :: d.drain_watchers;
       finish_drain_if_idle d
   | Ok P.Metrics -> post d conn (P.Metrics_text (Dfm_obs.Export.prometheus_now ()))
+  | Ok (P.Telemetry_sub s) ->
+      conn.telemetry <- Some s;
+      conn.next_metrics_at <- 0.;
+      d.next_span_pump <- 0.;
+      refresh_span_collection d;
+      post d conn P.Ok_resp
+  | Ok P.Dump -> (
+      (* No logging here: [mu] is held and the log sink would retake it. *)
+      match Dfm_obs.Recorder.dump ~dir:(flight_dir d) ~reason:"dump request" with
+      | Ok (trace, text) -> post d conn (P.Dumped { trace; text })
+      | Error e -> post d conn (P.Error_msg ("flight dump failed: " ^ e)))
   | Ok P.Ping -> post d conn P.Pong
 
 (* ---- connection I/O (network thread) ----------------------------------- *)
@@ -465,7 +533,8 @@ let close_conn d conn =
     conn.dead <- true;
     Hashtbl.remove d.conns conn.fd;
     Metrics.set m_connections (Hashtbl.length d.conns);
-    (try Unix.close conn.fd with Unix.Unix_error _ -> ())
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    if conn.telemetry <> None then refresh_span_collection d
   end
 
 let pump_requests d conn =
@@ -583,6 +652,8 @@ let accept_conn d =
               out_bytes = 0;
               close_after_flush = false;
               dead = false;
+              telemetry = None;
+              next_metrics_at = 0.;
             }
           in
           Mutex.protect d.mu (fun () ->
@@ -591,6 +662,51 @@ let accept_conn d =
       | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE) as e, _, _) ->
           accept_fd_exhausted d (Unix.error_message e)
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ())
+
+(* ---- telemetry pump (network thread) ----------------------------------- *)
+
+let span_pump_interval = 0.25
+let metrics_interval_floor_ms = 100
+
+(* One shared span drain fans out to every span subscriber; metrics frames
+   are rendered per subscription (family filter, interval).  Paced by the
+   select loop: at worst one tick late, which telemetry tolerates. *)
+let pump_telemetry d =
+  let t = now () in
+  Mutex.protect d.mu @@ fun () ->
+  let span_subs =
+    Hashtbl.fold
+      (fun _ c acc ->
+        match c.telemetry with
+        | Some s when (not c.dead) && s.P.t_spans -> c :: acc
+        | _ -> acc)
+      d.conns []
+  in
+  if span_subs <> [] && t >= d.next_span_pump then begin
+    d.next_span_pump <- t +. span_pump_interval;
+    match Dfm_obs.Export.take_stream () with
+    | [] -> ()
+    | fresh ->
+        let data = Dfm_obs.Export.complete_events_ndjson fresh in
+        List.iter
+          (fun c -> post_telemetry d c (P.Telemetry { stream = "spans"; data }))
+          span_subs
+  end;
+  Hashtbl.iter
+    (fun _ c ->
+      match c.telemetry with
+      | Some s when (not c.dead) && s.P.t_metrics && t >= c.next_metrics_at ->
+          let interval_ms =
+            match s.P.t_interval_ms with
+            | Some ms -> max metrics_interval_floor_ms ms
+            | None -> 1000
+          in
+          c.next_metrics_at <- t +. (float_of_int interval_ms /. 1000.);
+          let snap = Dfm_obs.Export.filter_families s.P.t_families (Metrics.snapshot ()) in
+          post_telemetry d c
+            (P.Telemetry { stream = "metrics"; data = Dfm_obs.Export.prometheus_string snap })
+      | _ -> ())
+    d.conns
 
 let serve_loop d =
   let drain_wake () =
@@ -629,7 +745,7 @@ let serve_loop d =
     in
     if done_ then finished := true
     else begin
-      match Unix.select reads writes [] 1.0 with
+      (match Unix.select reads writes [] 1.0 with
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
       | rs, ws, _ ->
           if List.mem d.wake_r rs then drain_wake ();
@@ -646,7 +762,9 @@ let serve_loop d =
               match Hashtbl.find_opt d.conns fd with
               | Some conn -> on_writable d conn
               | None -> ())
-            ws
+            ws);
+      if Atomic.exchange sigusr2_dump false then flight_dump_logged d ~reason:"SIGUSR2";
+      pump_telemetry d
     end
   done
 
@@ -856,6 +974,8 @@ let run ?(on_ready = fun () -> ()) cfg =
       drain_watchers = [];
       shutdown = false;
       completed = 0;
+      next_span_pump = 0.;
+      spans_at_start = Dfm_obs.Span.enabled ();
     }
   in
   (* Restart re-attach: completed jobs become awaitable history; incomplete
@@ -869,6 +989,13 @@ let run ?(on_ready = fun () -> ()) cfg =
   Dfm_util.Parallel.set_pool_floor d.cfg.jobs;
   Dfm_util.Parallel.set_default_jobs d.cfg.jobs;
   install_obs_router d;
+  Dfm_obs.Recorder.set_enabled true;
+  let old_usr2 =
+    try
+      Some
+        (Sys.signal Sys.sigusr2 (Sys.Signal_handle (fun _ -> Atomic.set sigusr2_dump true)))
+    with Invalid_argument _ | Sys_error _ -> None
+  in
   let exec_thread = Thread.create executor d in
   on_ready ();
   serve_loop d;
@@ -886,6 +1013,12 @@ let run ?(on_ready = fun () -> ()) cfg =
   close_out_noerr d.ledger;
   Dfm_incr.Cache.close d.cache;
   Dfm_util.Parallel.set_pool_floor 0;
+  (match old_usr2 with
+  | Some b -> ( try Sys.set_signal Sys.sigusr2 b with Invalid_argument _ | Sys_error _ -> ())
+  | None -> ());
+  Dfm_obs.Recorder.set_enabled false;
+  Dfm_obs.Span.set_enabled d.spans_at_start;
+  Metrics.set_attribution [];
   Log.set_sink None;
   Dfm_obs.Progress.set_output None;
   Dfm_obs.Progress.set_enabled false;

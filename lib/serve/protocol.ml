@@ -33,6 +33,18 @@ type submit = {
   p1 : float option;
 }
 
+(* A telemetry subscription: the connection starts receiving droppable
+   [Telemetry] frames — span batches (NDJSON of Chrome "X" events) when
+   [spans], and periodic Prometheus text snapshots when [metrics], filtered
+   to families whose name starts with any of [families] ([] = all) and
+   paced at [interval_ms] (metrics only; spans ship as they drain). *)
+type telemetry_sub = {
+  t_spans : bool;
+  t_metrics : bool;
+  t_families : string list;
+  t_interval_ms : int option;
+}
+
 type request =
   | Submit of submit
   | Status of string option
@@ -40,6 +52,8 @@ type request =
   | Cancel of string
   | Drain
   | Metrics
+  | Telemetry_sub of telemetry_sub
+  | Dump
   | Ping
 
 type job_state = Pending | Running | Done | Failed | Cancelled
@@ -89,10 +103,15 @@ type result_payload = {
 type response =
   | Accepted of { job : string; position : int }
   | Event of { job : string; stream : string; data : string }
+  | Telemetry of { stream : string; data : string }
+      (** Droppable, connection-scoped (not per-job): [stream] is ["spans"]
+          (NDJSON of Chrome "X" events) or ["metrics"] (Prometheus text). *)
   | Result of result_payload
   | Status_report of { draining : bool; jobs : job_view list; clients : client_view list }
   | Metrics_text of string
   | Drained of { completed : int }
+  | Dumped of { trace : string; text : string }
+      (** Flight-recorder dump written; daemon-side artifact paths. *)
   | Ok_resp
   | Pong
   | Error_msg of string
@@ -131,6 +150,16 @@ let request_to_json r =
     | Cancel j -> W.Obj [ ("op", W.String "cancel"); ("job", W.String j) ]
     | Drain -> W.Obj [ ("op", W.String "drain") ]
     | Metrics -> W.Obj [ ("op", W.String "metrics") ]
+    | Telemetry_sub t ->
+        W.Obj
+          ([
+             ("op", W.String "telemetry_sub");
+             ("spans", W.Bool t.t_spans);
+             ("metrics", W.Bool t.t_metrics);
+             ("families", W.List (List.map (fun f -> W.String f) t.t_families));
+           ]
+          @ opt_int "interval_ms" t.t_interval_ms)
+    | Dump -> W.Obj [ ("op", W.String "dump") ]
     | Ping -> W.Obj [ ("op", W.String "ping") ]
   in
   W.to_string v
@@ -190,9 +219,19 @@ let response_to_json r =
             ("jobs", W.List (List.map job_view_to_wire jobs));
             ("clients", W.List (List.map client_view_to_wire clients));
           ]
+    | Telemetry { stream; data } ->
+        W.Obj
+          [
+            ("op", W.String "telemetry");
+            ("stream", W.String stream);
+            ("data", W.String data);
+          ]
     | Metrics_text text -> W.Obj [ ("op", W.String "metrics"); ("text", W.String text) ]
     | Drained { completed } ->
         W.Obj [ ("op", W.String "drained"); ("completed", W.Int completed) ]
+    | Dumped { trace; text } ->
+        W.Obj
+          [ ("op", W.String "dumped"); ("trace", W.String trace); ("text", W.String text) ]
     | Ok_resp -> W.Obj [ ("op", W.String "ok") ]
     | Pong -> W.Obj [ ("op", W.String "pong") ]
     | Error_msg m -> W.Obj [ ("op", W.String "error"); ("message", W.String m) ]
@@ -281,6 +320,26 @@ let request_of_json s =
       Ok (Cancel job)
   | "drain" -> Ok Drain
   | "metrics" -> Ok Metrics
+  | "telemetry_sub" ->
+      let* t_spans = req_bool "spans" v in
+      let* t_metrics = req_bool "metrics" v in
+      let* t_families =
+        match W.member "families" v with
+        | None | Some W.Null -> Ok []
+        | Some (W.List items) ->
+            List.fold_left
+              (fun acc item ->
+                let* acc = acc in
+                match W.to_str item with
+                | Some s -> Ok (s :: acc)
+                | None -> Error "mistyped entry in \"families\"")
+              (Ok []) items
+            |> Result.map List.rev
+        | Some _ -> Error "mistyped field \"families\""
+      in
+      let* t_interval_ms = opt_of "interval_ms" W.to_int v in
+      Ok (Telemetry_sub { t_spans; t_metrics; t_families; t_interval_ms })
+  | "dump" -> Ok Dump
   | "ping" -> Ok Ping
   | other -> Error (Printf.sprintf "unknown request op %S" other)
 
@@ -354,12 +413,20 @@ let response_of_json s =
       let* jobs = decode_list "jobs" decode_job_view v in
       let* clients = decode_list "clients" decode_client_view v in
       Ok (Status_report { draining; jobs; clients })
+  | "telemetry" ->
+      let* stream = req_str "stream" v in
+      let* data = req_str "data" v in
+      Ok (Telemetry { stream; data })
   | "metrics" ->
       let* text = req_str "text" v in
       Ok (Metrics_text text)
   | "drained" ->
       let* completed = req_int "completed" v in
       Ok (Drained { completed })
+  | "dumped" ->
+      let* trace = req_str "trace" v in
+      let* text = req_str "text" v in
+      Ok (Dumped { trace; text })
   | "ok" -> Ok Ok_resp
   | "pong" -> Ok Pong
   | "error" ->

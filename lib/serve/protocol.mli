@@ -45,6 +45,21 @@ type submit = {
   p1 : float option;         (** resynth only *)
 }
 
+(** A telemetry subscription (connection-scoped): the connection starts
+    receiving droppable [Telemetry] frames — span batches as they drain
+    when [t_spans], periodic metrics snapshots when [t_metrics].
+    [t_families] filters metric families by name prefix ([[]] = all);
+    [t_interval_ms] paces the metrics frames (default 1000, clamped to a
+    daemon-side floor).  Telemetry frames never block job results: under
+    backpressure they are dropped and counted in
+    [dfm_serve_telemetry_dropped_total]. *)
+type telemetry_sub = {
+  t_spans : bool;
+  t_metrics : bool;
+  t_families : string list;
+  t_interval_ms : int option;
+}
+
 type request =
   | Submit of submit
   | Status of string option  (** all jobs, or one job id *)
@@ -52,6 +67,8 @@ type request =
   | Cancel of string
   | Drain
   | Metrics
+  | Telemetry_sub of telemetry_sub
+  | Dump  (** write a flight-recorder dump under the daemon state dir *)
   | Ping
 
 type job_state = Pending | Running | Done | Failed | Cancelled
@@ -90,10 +107,16 @@ type result_payload = {
 type response =
   | Accepted of { job : string; position : int }
   | Event of { job : string; stream : string; data : string }
+  | Telemetry of { stream : string; data : string }
+      (** Droppable, connection-scoped: [stream] is ["spans"] (NDJSON of
+          Chrome "X" complete events, one per line) or ["metrics"]
+          (Prometheus text exposition of the subscribed families). *)
   | Result of result_payload
   | Status_report of { draining : bool; jobs : job_view list; clients : client_view list }
   | Metrics_text of string   (** live Prometheus exposition *)
   | Drained of { completed : int }
+  | Dumped of { trace : string; text : string }
+      (** Flight-recorder dump written; daemon-side artifact paths. *)
   | Ok_resp
   | Pong
   | Error_msg of string

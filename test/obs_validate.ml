@@ -287,8 +287,53 @@ let validate_prometheus path =
   Printf.printf "metrics ok: %d series, %d families\n" (Hashtbl.length series)
     (Hashtbl.length types)
 
+(* --- streaming ("X" complete-event) trace checks ------------------------- *)
+
+(* Streamed traces ([trace --follow], flight-recorder dumps) use
+   self-contained "X" events: no bracketing requirement — a parent may land
+   in a later batch than its children — but every event must be a complete,
+   well-formed record, and the file as a whole must be a loadable Chrome
+   trace at every instant. *)
+let validate_complete_trace path min_events =
+  let doc =
+    try parse_json (read_file path)
+    with Parse_error m -> die "%s: trace does not parse as JSON (%s)" path m
+  in
+  let events =
+    match field "traceEvents" doc with
+    | Some (Arr l) -> l
+    | _ -> die "%s: no \"traceEvents\" array" path
+  in
+  List.iteri
+    (fun i ev ->
+      let str k =
+        match field k ev with Some (Str s) -> s | _ -> die "%s: event %d: missing \"%s\"" path i k
+      in
+      let num k =
+        match field k ev with Some (Num f) -> f | _ -> die "%s: event %d: missing \"%s\"" path i k
+      in
+      let ph = str "ph" in
+      if ph <> "X" then die "%s: event %d: expected phase \"X\", got %S" path i ph;
+      if str "name" = "" then die "%s: event %d: empty span name" path i;
+      if num "ts" < 0.0 then die "%s: event %d: negative ts" path i;
+      if num "dur" < 0.0 then die "%s: event %d: negative dur" path i;
+      ignore (num "tid");
+      ignore (num "pid"))
+    events;
+  if List.length events < min_events then
+    die "%s: %d complete event(s), need >= %d" path (List.length events) min_events;
+  Printf.printf "complete trace ok: %d events\n" (List.length events)
+
 let () =
   match Array.to_list Sys.argv with
+  | [ _; "--complete"; trace ] -> validate_complete_trace trace 1
+  | [ _; "--complete"; trace; min_events ] ->
+      let m =
+        match int_of_string_opt min_events with
+        | Some m -> m
+        | None -> die "MIN_EVENTS must be an integer, got %S" min_events
+      in
+      validate_complete_trace trace m
   | [ _; trace; metrics ] ->
       validate_trace trace 5;
       validate_prometheus metrics
@@ -300,4 +345,7 @@ let () =
       in
       validate_trace trace d;
       validate_prometheus metrics
-  | _ -> die "usage: obs_validate TRACE.json METRICS.prom [MIN_DEPTH]"
+  | _ ->
+      die
+        "usage: obs_validate TRACE.json METRICS.prom [MIN_DEPTH] | obs_validate --complete \
+         TRACE.json [MIN_EVENTS]"

@@ -223,6 +223,62 @@ let () =
       | Ok _ -> fail "unexpected status response"
       | Error e -> fail "status: %s" e);
       Client.close c);
+
+  (* The live Prometheus exposition must attribute engine work per tenant:
+     every family below gets a {job=...,tenant=...} series for each tenant
+     that did work, alongside the unlabeled base series. *)
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let fetch_metrics sock =
+    match Client.connect sock with
+    | Error e ->
+        fail "metrics connect: %s" e;
+        ""
+    | Ok c ->
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (fun () ->
+            match Client.request c Protocol.Metrics with
+            | Ok (Protocol.Metrics_text s) -> s
+            | Ok _ ->
+                fail "unexpected metrics response";
+                ""
+            | Error e ->
+                fail "metrics: %s" e;
+                "")
+  in
+  let prom = fetch_metrics sock1 in
+  let attributed_families =
+    [
+      "dfm_atpg_sat_queries_total";
+      "dfm_sat_conflicts_total";
+      "dfm_cache_hits_total";
+      "dfm_cache_misses_total";
+    ]
+  in
+  (* a family has tenant attribution when some sample line of that family
+     carries the tenant label (labels render canonically sorted, so the
+     series reads fam{job="...",tenant="..."}) *)
+  let has_attributed prom fam tenant =
+    List.exists
+      (fun line ->
+        String.length line > String.length fam
+        && String.sub line 0 (String.length fam) = fam
+        && contains line (Printf.sprintf "tenant=\"%s\"" tenant))
+      (String.split_on_char '\n' prom)
+  in
+  List.iter
+    (fun tenant ->
+      let missing =
+        List.filter (fun fam -> not (has_attributed prom fam tenant)) attributed_families
+      in
+      if missing = [] then pass "per-tenant attribution for %s in live Prometheus" tenant
+      else
+        fail "tenant %s missing attributed series: %s" tenant (String.concat " " missing))
+    [ "alpha"; "bravo" ];
   stop_daemon ~sock:sock1 ~pid:pid1;
 
   (* ---- 5. EMFILE chaos + daemon-wide certify ----------------------- *)
@@ -246,6 +302,11 @@ let () =
       pass "daemon survived injected EMFILE; certified report byte-identical"
   | Ok r -> fail "chaos/certify analyze outcome %s" r.Protocol.r_outcome
   | Error e -> fail "chaos/certify analyze: %s" e);
+  (* certified checks are attributable too *)
+  let prom4 = fetch_metrics sock4 in
+  if has_attributed prom4 "dfm_cert_checked_total" "echo" then
+    pass "certified checks attributed to tenant echo"
+  else fail "dfm_cert_checked_total has no tenant=\"echo\" series";
   stop_daemon ~sock:sock4 ~pid:pid5;
 
   (* ---- 4. SIGKILL mid-resynthesis, restart, identical report ------- *)

@@ -59,10 +59,18 @@ let test_des_perf_largest () =
     sizes
 
 let test_io_roundtrip_block () =
-  let nl = C.build ~scale:0.25 "sparc_ffu" in
-  let nl' = Io.read ~library:nl.N.library (Io.to_string nl) in
-  Alcotest.(check int) "same gates" (N.num_gates nl) (N.num_gates nl');
-  N.validate nl'
+  (* Every block: tv80's two same-width state banks once produced duplicate
+     net names that merged into a doubly-driven net on read-back. *)
+  List.iter
+    (fun name ->
+      let nl = C.build ~scale:0.25 name in
+      let nl' = Io.read ~library:nl.N.library (Io.to_string nl) in
+      Alcotest.(check int) (name ^ " same gates") (N.num_gates nl) (N.num_gates nl');
+      N.validate nl';
+      Alcotest.(check string)
+        (name ^ " stable text")
+        (Io.to_string nl) (Io.to_string nl'))
+    C.names
 
 let suite =
   [

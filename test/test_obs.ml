@@ -8,6 +8,7 @@ module Metrics = Dfm_obs.Metrics
 module Span = Dfm_obs.Span
 module Export = Dfm_obs.Export
 module Progress = Dfm_obs.Progress
+module Recorder = Dfm_obs.Recorder
 module Design = Dfm_core.Design
 module Resynth = Dfm_core.Resynth
 module Parallel = Dfm_util.Parallel
@@ -21,10 +22,25 @@ let with_clean_obs f =
       Log.set_level Log.Warn;
       Span.set_enabled false;
       Span.reset ();
+      Export.reset_retained ();
       Metrics.set_timing_enabled false;
+      Metrics.set_attribution [];
+      Recorder.set_enabled false;
       Progress.set_enabled false;
+      Progress.set_mode Progress.Auto;
       Progress.set_output None)
     f
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let slurp f =
+  let ic = open_in_bin f in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
 (* ------------------------------------------------------------------ *)
 (* Log                                                                  *)
@@ -282,9 +298,13 @@ let prop_transparency =
           Log.set_level Log.Debug;
           Span.set_enabled true;
           Metrics.set_timing_enabled true;
+          Metrics.set_attribution [ ("tenant", "qa"); ("job", "J0") ];
+          Recorder.set_enabled true;
           Progress.set_output (Some (fun _ -> incr drawn));
           Progress.set_enabled true;
           let on = run_campaign ~seed ~q_max d0 in
+          Metrics.set_attribution [];
+          Recorder.set_enabled false;
           let spans = Span.drain () in
           check_same_result (Printf.sprintf "jobs=%d" jobs) off on;
           (* the instrumented run must actually have observed something,
@@ -351,6 +371,276 @@ let test_snapshot_now_idempotent () =
       Alcotest.(check bool) "new snapshot still contains the early span" true
         (contains (slurp trace_a) "snap.outer"))
 
+(* ------------------------------------------------------------------ *)
+(* Labels and ambient attribution                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_label_validation () =
+  Alcotest.check_raises "invalid label name"
+    (Invalid_argument "Dfm_obs.Metrics: dfm_test_obs_lbl_total: invalid label name \"bad-name\"")
+    (fun () -> ignore (Metrics.counter ~labels:[ ("bad-name", "v") ] "dfm_test_obs_lbl_total"));
+  Alcotest.check_raises "duplicate label key"
+    (Invalid_argument
+       "Dfm_obs.Metrics: dfm_test_obs_lbl_total: duplicate label key \"tenant\" in one label \
+        set")
+    (fun () ->
+      ignore (Metrics.counter ~labels:[ ("tenant", "a"); ("tenant", "b") ] "dfm_test_obs_lbl_total"));
+  (* the same label set in any order is one series, not a duplicate *)
+  let a = Metrics.counter ~labels:[ ("tenant", "a"); ("job", "J1") ] "dfm_test_obs_lbl_total" in
+  let a' = Metrics.counter ~labels:[ ("job", "J1"); ("tenant", "a") ] "dfm_test_obs_lbl_total" in
+  Metrics.incr a;
+  Metrics.incr a';
+  Alcotest.(check int) "one shared series" 2 (Metrics.counter_value a)
+
+let test_attributed_counters () =
+  with_clean_obs @@ fun () ->
+  let a = Metrics.attributed_counter ~help:"attribution test" "dfm_test_obs_attr_total" in
+  Metrics.incr_attr a;
+  Alcotest.(check int) "base bumps without context" 1 (Metrics.counter_value (Metrics.attr_base a));
+  Metrics.set_attribution [ ("tenant", "acme"); ("job", "J7") ];
+  Metrics.incr_attr ~by:2 a;
+  Metrics.incr_attr a;
+  Metrics.set_attribution [];
+  Metrics.incr_attr a;
+  Alcotest.(check int) "base counts every bump" 5 (Metrics.counter_value (Metrics.attr_base a));
+  (match Metrics.find_value ~labels:[ ("job", "J7"); ("tenant", "acme") ] "dfm_test_obs_attr_total" with
+  | Some (Metrics.Counter n) -> Alcotest.(check int) "labeled series counts attributed bumps" 3 n
+  | _ -> Alcotest.fail "attributed label series not registered");
+  Alcotest.check_raises "attribution labels are validated"
+    (Invalid_argument "Dfm_obs.Metrics: set_attribution: invalid label name \"bad-name\"")
+    (fun () -> Metrics.set_attribution [ ("bad-name", "x") ])
+
+(* ------------------------------------------------------------------ *)
+(* Escaping: property-tested against hand-rolled validators            *)
+(* ------------------------------------------------------------------ *)
+
+(* Validator-side JSON string reader: rejects raw control bytes, raw
+   quotes, and any escape the exporter has no business emitting; returns
+   the decoded string otherwise. *)
+let json_unescape s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let rec go i =
+    if i >= n then Some (Buffer.contents buf)
+    else
+      match s.[i] with
+      | '"' -> None
+      | c when Char.code c < 0x20 -> None
+      | '\\' ->
+          if i + 1 >= n then None
+          else (
+            match s.[i + 1] with
+            | '"' ->
+                Buffer.add_char buf '"';
+                go (i + 2)
+            | '\\' ->
+                Buffer.add_char buf '\\';
+                go (i + 2)
+            | 'n' ->
+                Buffer.add_char buf '\n';
+                go (i + 2)
+            | 'r' ->
+                Buffer.add_char buf '\r';
+                go (i + 2)
+            | 't' ->
+                Buffer.add_char buf '\t';
+                go (i + 2)
+            | 'u' ->
+                if i + 6 > n then None
+                else (
+                  match int_of_string_opt ("0x" ^ String.sub s (i + 2) 4) with
+                  | Some code when code < 0x20 ->
+                      Buffer.add_char buf (Char.chr code);
+                      go (i + 6)
+                  | _ -> None)
+            | _ -> None)
+      | c ->
+          Buffer.add_char buf c;
+          go (i + 1)
+  in
+  go 0
+
+let prop_json_escape =
+  QCheck.Test.make ~name:"json_escape valid+invertible on arbitrary bytes" ~count:500
+    QCheck.string (fun s ->
+      match json_unescape (Export.json_escape s) with
+      | Some s' -> String.equal s s'
+      | None -> false)
+
+(* Prometheus label values: no raw newline, no raw quote, every backslash
+   starts one of the three escapes the exposition format defines. *)
+let prom_unescape s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let rec go i =
+    if i >= n then Some (Buffer.contents buf)
+    else
+      match s.[i] with
+      | '\n' | '"' -> None
+      | '\\' ->
+          if i + 1 >= n then None
+          else (
+            match s.[i + 1] with
+            | '\\' ->
+                Buffer.add_char buf '\\';
+                go (i + 2)
+            | '"' ->
+                Buffer.add_char buf '"';
+                go (i + 2)
+            | 'n' ->
+                Buffer.add_char buf '\n';
+                go (i + 2)
+            | _ -> None)
+      | c ->
+          Buffer.add_char buf c;
+          go (i + 1)
+  in
+  go 0
+
+let prop_prom_label_escape =
+  QCheck.Test.make ~name:"prom_label_escape valid+invertible on arbitrary bytes" ~count:500
+    QCheck.string (fun s ->
+      match prom_unescape (Export.prom_label_escape s) with
+      | Some s' -> String.equal s s'
+      | None -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Streaming: concurrent domains, lossless fresh-only drain             *)
+(* ------------------------------------------------------------------ *)
+
+let prop_stream_concurrent =
+  QCheck.Test.make ~name:"take_stream under concurrent domains: no loss, no duplicates"
+    ~count:4
+    QCheck.(int_range 2 4)
+    (fun doms ->
+      with_clean_obs @@ fun () ->
+      Span.reset ();
+      Export.reset_retained ();
+      Span.set_enabled true;
+      let per = 50 in
+      let workers =
+        List.init doms (fun d ->
+            Domain.spawn (fun () ->
+                for i = 1 to per do
+                  Span.with_ (Printf.sprintf "stream.%d.%d" d i) Fun.id
+                done))
+      in
+      (* drain concurrently with the recording domains *)
+      let fresh = ref [] in
+      let deadline = Unix.gettimeofday () +. 20. in
+      while List.length !fresh < doms * per && Unix.gettimeofday () < deadline do
+        fresh := Export.take_stream () @ !fresh
+      done;
+      List.iter Domain.join workers;
+      fresh := Export.take_stream () @ !fresh;
+      let names =
+        List.sort compare (List.map (fun (e : Span.event) -> e.Span.name) !fresh)
+      in
+      if List.length names <> doms * per then
+        QCheck.Test.fail_reportf "lost events: drained %d of %d" (List.length names)
+          (doms * per);
+      let rec dup = function
+        | a :: (b :: _ as rest) -> if a = b then Some a else dup rest
+        | _ -> None
+      in
+      (match dup names with
+      | Some n -> QCheck.Test.fail_reportf "duplicated event %s" n
+      | None -> ());
+      (* retained history is append-only: the full-history view repeats
+         every drained event, and snapshotting twice is stable *)
+      let h1 = Export.trace_events_now () in
+      let h2 = Export.trace_events_now () in
+      if List.length h1 <> doms * per then
+        QCheck.Test.fail_reportf "retained history holds %d of %d" (List.length h1)
+          (doms * per);
+      List.length h1 = List.length h2)
+
+(* ------------------------------------------------------------------ *)
+(* Progress modes                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let capture_stderr f =
+  let file = Filename.temp_file "dfm_prog" ".err" in
+  flush stderr;
+  let saved = Unix.dup Unix.stderr in
+  let fd = Unix.openfile file [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  Unix.dup2 fd Unix.stderr;
+  Unix.close fd;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stderr;
+      Unix.dup2 saved Unix.stderr;
+      Unix.close saved)
+    f;
+  let s = slurp file in
+  Sys.remove file;
+  s
+
+let test_progress_modes () =
+  with_clean_obs @@ fun () ->
+  Progress.set_enabled true;
+  (* Auto off a terminal: silence, not \r-garbage in logs and CI *)
+  let auto_out = capture_stderr (fun () -> Progress.force (fun () -> "auto line")) in
+  Alcotest.(check string) "auto mode emits nothing off-tty" "" auto_out;
+  Progress.set_mode Progress.Plain;
+  let plain_out = capture_stderr (fun () -> Progress.force (fun () -> "plain line")) in
+  Alcotest.(check string) "plain mode emits one line per update" "plain line\n" plain_out;
+  Progress.finish ();
+  let fin = capture_stderr Progress.finish in
+  Alcotest.(check string) "finish is silent unless a tty line is pending" "" fin
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_flight_recorder () =
+  with_clean_obs @@ fun () ->
+  Span.reset ();
+  Recorder.set_enabled true;
+  Log.set_level Log.Info;
+  Log.info "recorder retains me";
+  (try
+     Span.with_ "flight.outer" (fun () ->
+         Span.with_ "flight.inner" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  Span.with_ "flight.after" Fun.id;
+  (* the ring retained the spans even though span export is off *)
+  Alcotest.(check bool) "span export stays off" true (Span.drain () = []);
+  let recent = Span.recent () in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " in ring") true
+        (List.exists (fun (e : Span.event) -> e.Span.name = n) recent))
+    [ "flight.outer"; "flight.inner"; "flight.after" ];
+  let failures = Span.last_failures () in
+  Alcotest.(check bool) "failure stack captured innermost-first" true
+    (List.exists
+       (fun (_, stack) ->
+         List.exists (fun (oi : Span.open_info) -> oi.Span.oi_name = "flight.inner") stack
+         && List.exists (fun (oi : Span.open_info) -> oi.Span.oi_name = "flight.outer") stack)
+       failures);
+  let dir = Filename.temp_file "dfm_flight" "" in
+  Sys.remove dir;
+  match Recorder.dump ~dir ~reason:"unit test" with
+  | Error e -> Alcotest.failf "dump failed: %s" e
+  | Ok (trace, text) ->
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) [ trace; text ];
+          try Sys.rmdir dir with Sys_error _ -> ())
+        (fun () ->
+          let t = slurp text in
+          Alcotest.(check bool) "post-mortem names the reason" true (contains t "unit test");
+          Alcotest.(check bool) "post-mortem shows the failing span stack" true
+            (contains t "flight.inner");
+          Alcotest.(check bool) "post-mortem retains the log line" true
+            (contains t "recorder retains me");
+          let tr = slurp trace in
+          Alcotest.(check bool) "trace dump uses complete events" true
+            (contains tr "\"ph\":\"X\"");
+          Alcotest.(check bool) "trace dump is a Chrome trace" true
+            (contains tr "{\"traceEvents\":["))
+
 let suite =
   [
     Alcotest.test_case "log levels, sink, would_log" `Quick test_log_levels;
@@ -366,5 +656,16 @@ let suite =
     Alcotest.test_case "chrome trace B/E shape" `Quick test_chrome_trace_shape;
     Alcotest.test_case "prometheus exposition is duplicate-free" `Quick
       test_prometheus_exposition;
+    Alcotest.test_case "live snapshots are idempotent" `Quick test_snapshot_now_idempotent;
+    Alcotest.test_case "label validation and canonical series" `Quick
+      test_metrics_label_validation;
+    Alcotest.test_case "attributed counters follow the ambient context" `Quick
+      test_attributed_counters;
+    Alcotest.test_case "progress modes off-tty" `Quick test_progress_modes;
+    Alcotest.test_case "flight recorder ring, failure stacks, dump" `Quick
+      test_flight_recorder;
+    QCheck_alcotest.to_alcotest prop_json_escape;
+    QCheck_alcotest.to_alcotest prop_prom_label_escape;
+    QCheck_alcotest.to_alcotest prop_stream_concurrent;
     QCheck_alcotest.to_alcotest prop_transparency;
   ]

@@ -325,6 +325,10 @@ let test_protocol_requests () =
         Cancel "J2";
         Drain;
         Metrics;
+        Telemetry_sub
+          { t_spans = true; t_metrics = true; t_families = [ "dfm_sat_" ]; t_interval_ms = Some 250 };
+        Telemetry_sub { t_spans = false; t_metrics = true; t_families = []; t_interval_ms = None };
+        Dump;
         Ping;
       ]
 
@@ -380,7 +384,10 @@ let test_protocol_responses () =
               ];
           };
         Metrics_text "# HELP x\n";
+        Telemetry { stream = "spans"; data = "{\"name\":\"a\",\"ph\":\"X\"}\n" };
+        Telemetry { stream = "metrics"; data = "dfm_x_total 1\n" };
         Drained { completed = 9 };
+        Dumped { trace = "/tmp/flight-1-1.trace.json"; text = "/tmp/flight-1-1.txt" };
         Ok_resp;
         Pong;
         Error_msg "no such job";
@@ -399,6 +406,9 @@ let test_protocol_rejects () =
   (* mistyped optional field: absent would be fine, a wrong type is not *)
   bad_req
     {|{"type":"submit","client":"c","kind":"analyze","name":"n","netlist":"x","jobs":"four"}|};
+  (* telemetry subscriptions: families must be a list of strings *)
+  bad_req {|{"type":"telemetry_sub","spans":true,"metrics":true,"families":"dfm_"}|};
+  bad_req {|{"type":"telemetry_sub","spans":true,"metrics":true,"families":[1]}|};
   match Protocol.response_of_json {|{"type":"warp"}|} with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "response decoder should reject unknown types"
